@@ -1,0 +1,297 @@
+package hybridmem
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations for the design choices DESIGN.md calls
+// out. Each benchmark executes the same simulation the corresponding
+// cmd/experiments mode prints, and reports the figure's headline
+// quantity as a custom metric so `go test -bench` output carries the
+// reproduced series:
+//
+//	Figure 1  -> GB/s            (BenchmarkFigure1StreamTriad)
+//	Figure 3  -> modeled µs      (BenchmarkFigure3UnwindTranslate)
+//	Table I   -> overhead %      (BenchmarkTableICharacteristics)
+//	Figure 4  -> FOM & vs-DDR %  (BenchmarkFigure4)
+//	Figure 5  -> fold + dip %    (BenchmarkFigure5Folding)
+//
+// Run everything:  go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/alloc"
+	"repro/internal/callstack"
+	"repro/internal/interpose"
+	"repro/internal/mem"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// BenchmarkFigure1StreamTriad regenerates the STREAM bandwidth curves
+// at three representative core counts per memory configuration.
+func BenchmarkFigure1StreamTriad(b *testing.B) {
+	w := StreamWorkload()
+	node := DefaultKNL()
+	for _, cores := range []int{1, 16, 68} {
+		for _, bl := range []Baseline{BaselineDDR, BaselineNumactl, BaselineCacheMode} {
+			name := fmt.Sprintf("%s/cores-%d", bl, cores)
+			b.Run(name, func(b *testing.B) {
+				var bw float64
+				for i := 0; i < b.N; i++ {
+					res, err := RunBaseline(w, bl, ExecuteConfig{Machine: node, Cores: cores, Seed: 7})
+					if err != nil {
+						b.Fatal(err)
+					}
+					bw = res.FOM
+				}
+				b.ReportMetric(bw, "GB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3UnwindTranslate measures the real lookup work of
+// call-stack unwinding and translation per depth and reports the
+// modeled microseconds of Figure 3 (crossover beyond depth 6).
+func BenchmarkFigure3UnwindTranslate(b *testing.B) {
+	prog := callstack.NewProgram("fig3", xrand.New(1))
+	frames := []string{"main", "a", "b", "c", "d", "e", "f", "g", "h"}
+	for depth := 1; depth <= 9; depth++ {
+		stack := prog.Site(frames[:depth]...)
+		b.Run(fmt.Sprintf("unwind/depth-%d", depth), func(b *testing.B) {
+			dst := make(callstack.Stack, len(stack))
+			for i := 0; i < b.N; i++ {
+				copy(dst, stack)
+				_ = dst.Fingerprint()
+			}
+			b.ReportMetric(callstack.UnwindCost(depth).Micros(units.DefaultClockHz), "modeled-µs")
+		})
+		b.Run(fmt.Sprintf("translate/depth-%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = prog.Table.Translate(stack)
+			}
+			b.ReportMetric(callstack.TranslateCost(depth).Micros(units.DefaultClockHz), "modeled-µs")
+		})
+	}
+}
+
+// BenchmarkTableICharacteristics runs the monitored (Extrae) execution
+// of every application and reports the Table I monitoring overhead.
+func BenchmarkTableICharacteristics(b *testing.B) {
+	for _, w := range Workloads() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			m := MachineFor(w)
+			var overheadPct, samples float64
+			for i := 0; i < b.N; i++ {
+				_, res, err := Profile(w, ProfileConfig{Machine: m, Seed: 11})
+				if err != nil {
+					b.Fatal(err)
+				}
+				overheadPct = res.MonitorOverheadFraction() * 100
+				samples = float64(res.Samples)
+			}
+			b.ReportMetric(overheadPct, "overhead-%")
+			b.ReportMetric(samples, "samples")
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates, per application, the DDR reference,
+// the cache-mode baseline and the framework at the largest swept
+// budget, reporting the improvement over DDR.
+func BenchmarkFigure4(b *testing.B) {
+	for _, w := range Workloads() {
+		w := w
+		m := MachineFor(w)
+		budgets := BudgetsFor(w)
+		budget := budgets[len(budgets)-1]
+		b.Run(w.Name+"/ddr", func(b *testing.B) {
+			var fom float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunBaseline(w, BaselineDDR, ExecuteConfig{Machine: m, Seed: 21})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fom = res.FOM
+			}
+			b.ReportMetric(fom, "FOM")
+		})
+		b.Run(w.Name+"/cache", func(b *testing.B) {
+			var fom float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunBaseline(w, BaselineCacheMode, ExecuteConfig{Machine: m, Seed: 21})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fom = res.FOM
+			}
+			b.ReportMetric(fom, "FOM")
+		})
+		b.Run(w.Name+"/framework", func(b *testing.B) {
+			var fom float64
+			for i := 0; i < b.N; i++ {
+				pr, err := Pipeline(w, PipelineConfig{
+					Machine: m, Seed: 21, Budget: budget, Strategy: StrategyMisses(0),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fom = pr.Run.FOM
+			}
+			b.ReportMetric(fom, "FOM")
+		})
+	}
+}
+
+// BenchmarkFigure5Folding measures the folding analysis of the SNAP
+// framework run and reports the outer_src_calc MIPS dip depth.
+func BenchmarkFigure5Folding(b *testing.B) {
+	w, err := WorkloadByName("snap")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := MachineFor(w)
+	pr, err := Pipeline(w, PipelineConfig{
+		Machine: m, Seed: 31, Budget: 256 * MB, Strategy: StrategyMisses(0), SamplePeriod: 600,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := ProfileWithPolicy(w, ProfileConfig{Machine: m, Seed: 33, SamplePeriod: 600}, pr.Report)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var dipPct float64
+	for i := 0; i < b.N; i++ {
+		f, err := Fold(tr, 48, m.ClockHz)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minOuter, _, _ := f.MinMIPSIn("outer_src_calc")
+		dipPct = minOuter / f.GlobalMaxMIPS() * 100
+	}
+	b.ReportMetric(dipPct, "dip-%of-peak")
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationKnapsackExactVsGreedy demonstrates why hmem_advisor
+// ships greedy relaxations: the exact pseudo-polynomial DP blows up
+// with object count and budget while the greedy packs stay linear.
+func BenchmarkAblationKnapsackExactVsGreedy(b *testing.B) {
+	r := xrand.New(42)
+	objs := make([]advisor.Object, 300)
+	for i := range objs {
+		objs[i] = advisor.Object{
+			ID:     fmt.Sprintf("o%03d", i),
+			Size:   int64(r.Intn(64)+1) * units.MB,
+			Misses: int64(r.Intn(100000) + 1),
+		}
+	}
+	const budget = 2 * units.GB
+	for _, s := range []advisor.Strategy{
+		advisor.MissesStrategy{}, advisor.DensityStrategy{}, advisor.ExactDP{},
+	} {
+		s := s
+		b.Run(s.Name(), func(b *testing.B) {
+			var moved int64
+			for i := 0; i < b.N; i++ {
+				moved = advisor.TotalMisses(s.Select(objs, budget))
+			}
+			b.ReportMetric(float64(moved), "misses-moved")
+		})
+	}
+}
+
+// ablationFixture builds an interpose library over a big heap with one
+// selected site for malloc-path microbenchmarks.
+func ablationFixture(b *testing.B, opts interpose.Options) (*interpose.Library, callstack.Stack) {
+	b.Helper()
+	pt := mem.NewPageTable(mem.TierDDR)
+	sp := alloc.NewSpace(pt)
+	mk, err := alloc.NewMemkind(sp, 64*units.GB, 16*units.GB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := callstack.NewProgram("abl", xrand.New(1))
+	site := prog.Site("main", "compute", "allocHot")
+	rep := &advisor.Report{
+		App: "abl", Budget: 16 * units.GB,
+		Entries: []advisor.Entry{{
+			Tier: "MCDRAM", ID: string(prog.Table.Translate(site)),
+			Site: prog.Table.Translate(site), Size: 4 * units.KB, Misses: 100,
+		}},
+		LBSize: 4 * units.KB, UBSize: 4 * units.KB,
+	}
+	lib, err := interpose.New(mk, prog, rep, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lib, site
+}
+
+// BenchmarkAblationDecisionCache compares the interposed malloc path
+// with and without the decision cache of Algorithm 1 (lines 5/9): the
+// cache removes the per-allocation translation.
+func BenchmarkAblationDecisionCache(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts interpose.Options
+	}{
+		{"cached", interpose.Options{}},
+		{"uncached", interpose.Options{DisableCache: true}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			lib, site := ablationFixture(b, cfg.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				addr, err := lib.Malloc(site, 4*units.KB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := lib.Free(addr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := lib.Stats()
+			b.ReportMetric(float64(st.Translates), "translations")
+			b.ReportMetric(float64(lib.OverheadCycles())/float64(b.N), "modeled-cyc/op")
+		})
+	}
+}
+
+// BenchmarkAblationSizeFilter compares the malloc path for allocations
+// outside the lb/ub range with and without the size pre-filter
+// (Algorithm 1, line 3): the filter skips unwinding entirely.
+func BenchmarkAblationSizeFilter(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts interpose.Options
+	}{
+		{"filtered", interpose.Options{}},
+		{"unfiltered", interpose.Options{DisableSizeFilter: true}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			lib, site := ablationFixture(b, cfg.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// 64 KB is outside the [4 KB, 4 KB] selected range.
+				addr, err := lib.Malloc(site, 64*units.KB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := lib.Free(addr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := lib.Stats()
+			b.ReportMetric(float64(st.Unwinds), "unwinds")
+			b.ReportMetric(float64(lib.OverheadCycles())/float64(b.N), "modeled-cyc/op")
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Command autohbw is Stage 4 of the framework (the auto-hbwmalloc
+// role): it re-executes a workload with the interposition library
+// honouring an hmem_advisor placement report, and prints the run's
+// figure of merit, fast-memory usage and library statistics. For
+// comparison it can also run the paper's baselines.
+//
+//	autohbw -app hpcg -report hpcg.rpt
+//	autohbw -app hpcg -baseline cache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hm "repro"
+	"repro/internal/units"
+)
+
+func main() {
+	app := flag.String("app", "", "workload to run (required)")
+	report := flag.String("report", "", "placement report from hmemadvisor")
+	baseline := flag.String("baseline", "", "run a baseline instead: ddr | numactl | autohbw | cache")
+	budget := flag.Int64("budget", 0, "override the report's fast-memory budget (bytes)")
+	seed := flag.Uint64("seed", 12, "simulation seed")
+	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
+	flag.Parse()
+
+	if *app == "" || (*report == "" && *baseline == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := hm.WorkloadByName(*app)
+	if err != nil {
+		fail(err)
+	}
+	m := hm.MachineFor(w)
+	cfg := hm.ExecuteConfig{Machine: m, Seed: *seed, RefScale: *scale}
+
+	var res *hm.RunResult
+	switch {
+	case *baseline != "":
+		b, err := parseBaseline(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		if res, err = hm.RunBaseline(w, b, cfg); err != nil {
+			fail(err)
+		}
+	default:
+		f, err := os.Open(*report)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := hm.ReadReport(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		opts := hm.InterposeOptions{BudgetOverride: *budget}
+		if res, err = hm.Execute(w, rep, opts, cfg); err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("%s under %s:\n", res.Workload, res.Policy)
+	fmt.Printf("  FOM                %.4f %s\n", res.FOM, res.FOMUnit)
+	fmt.Printf("  simulated time     %.4f s (%d cycles)\n", res.Seconds, res.Cycles)
+	fmt.Printf("  LLC misses         %d of %d accesses\n", res.LLCMisses, res.LLCAccesses)
+	fmt.Printf("  MCDRAM heap HWM    %s\n", units.HumanBytes(res.HBWHWM))
+	fmt.Printf("  total HWM          %s\n", units.HumanBytes(res.TotalHWM))
+	fmt.Printf("  alloc/free calls   %d/%d\n", res.AllocCalls, res.FreeCalls)
+	if res.PlacementFailures > 0 {
+		fmt.Printf("  placement failures %d (did not fit fast memory)\n", res.PlacementFailures)
+	}
+}
+
+func parseBaseline(s string) (hm.Baseline, error) {
+	switch s {
+	case "ddr":
+		return hm.BaselineDDR, nil
+	case "numactl":
+		return hm.BaselineNumactl, nil
+	case "autohbw":
+		return hm.BaselineAutoHBW, nil
+	case "cache":
+		return hm.BaselineCacheMode, nil
+	default:
+		return 0, fmt.Errorf("unknown baseline %q", s)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "autohbw:", err)
+	os.Exit(1)
+}

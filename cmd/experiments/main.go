@@ -1,0 +1,262 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation:
+//
+//	experiments -fig 1      STREAM Triad bandwidth vs cores (Figure 1)
+//	experiments -fig 3      unwind vs translate cost by depth (Figure 3)
+//	experiments -table 1    application characteristics (Table I)
+//	experiments -fig 4      per-app FOM / HWM / ΔFOM-per-MB grids (Figure 4)
+//	experiments -fig 5      SNAP folded timeline (Figure 5)
+//	experiments -all        everything, in paper order
+//
+// Use -app to restrict Figure 4 to one application and -scale to
+// shrink the simulated access volume for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	hm "repro"
+	"repro/internal/callstack"
+	"repro/internal/units"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 3, 4, 5)")
+	table := flag.Int("table", 0, "table to regenerate (1)")
+	all := flag.Bool("all", false, "regenerate everything")
+	app := flag.String("app", "", "restrict -fig 4 to one application")
+	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
+	flag.Parse()
+
+	any := false
+	if *all || *fig == 1 {
+		figure1()
+		any = true
+	}
+	if *all || *fig == 3 {
+		figure3()
+		any = true
+	}
+	if *all || *table == 1 {
+		tableI(*scale)
+		any = true
+	}
+	if *all || *fig == 4 {
+		figure4(*app, *scale)
+		any = true
+	}
+	if *all || *fig == 5 {
+		figure5(*scale)
+		any = true
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// figure1 reproduces the STREAM Triad bandwidth curves.
+func figure1() {
+	header("Figure 1: STREAM Triad bandwidth (GB/s) vs cores")
+	w := hm.StreamWorkload()
+	// Per-thread view: each core streams through its own 1 MB L2 tile
+	// share, so the default LLC is the right filter.
+	node := hm.DefaultKNL()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cores\tDDR\tMCDRAM/Flat\tMCDRAM/Cache")
+	for _, cores := range hm.StreamCoreCounts() {
+		cfg := hm.ExecuteConfig{Machine: node, Cores: cores, Seed: 7}
+		ddr, err := hm.RunBaseline(w, hm.BaselineDDR, cfg)
+		check(err)
+		flat, err := hm.RunBaseline(w, hm.BaselineNumactl, cfg)
+		check(err)
+		cache, err := hm.RunBaseline(w, hm.BaselineCacheMode, cfg)
+		check(err)
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\n", cores, ddr.FOM, flat.FOM, cache.FOM)
+	}
+	tw.Flush()
+}
+
+// figure3 reproduces the unwind/translate overhead breakdown.
+func figure3() {
+	header("Figure 3: call-stack unwind vs translate cost (µs) by depth")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "depth\tunwind\ttranslate\ttotal")
+	for d := 1; d <= 9; d++ {
+		u := callstack.UnwindCost(d).Micros(units.DefaultClockHz)
+		t := callstack.TranslateCost(d).Micros(units.DefaultClockHz)
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\n", d, u, t, u+t)
+	}
+	tw.Flush()
+	fmt.Printf("translate overtakes unwind beyond depth %d\n", callstack.CrossoverDepth())
+}
+
+// tableI reproduces the application-characteristics table.
+func tableI(scale float64) {
+	header("Table I: application characteristics (simulated)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tlang\tparallelism\tgeometry\tFOM\tallocs(m/r/f/n/d/a/D)\tallocs/s\tHWM MB\toverhead%\tsamples\tsamples/s")
+	for _, w := range hm.Workloads() {
+		m := hm.MachineFor(w)
+		// Single-process (OpenMP-only) workloads aggregate the whole
+		// node's miss stream in one process; sample them with a
+		// proportionally longer period, as per-core PEBS does.
+		var period uint64
+		if w.Ranks <= 1 {
+			period = hm.DefaultScaledPeriod * 4
+		}
+		_, res, err := hm.Profile(w, hm.ProfileConfig{Machine: m, Seed: 11, RefScale: scale, SamplePeriod: period})
+		check(err)
+		geom := fmt.Sprintf("%d ranks x %d thr", w.Ranks, w.Threads)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.1f\t%d\t%.2f\t%d\t%.1f\n",
+			w.Name, w.Language, w.Parallelism, geom, w.FOMName,
+			w.AllocStatements,
+			float64(res.AllocCalls)/res.Seconds,
+			res.TotalHWM/units.MB,
+			res.MonitorOverheadFraction()*100,
+			res.Samples,
+			float64(res.Samples)/res.Seconds)
+	}
+	tw.Flush()
+}
+
+type fig4Row struct {
+	label string
+	fom   float64
+	hwm   int64
+	dfom  float64
+}
+
+// figure4 reproduces the per-application placement comparison.
+func figure4(only string, scale float64) {
+	for _, w := range hm.Workloads() {
+		if only != "" && w.Name != only {
+			continue
+		}
+		figure4App(w, scale)
+	}
+}
+
+func figure4App(w *hm.Workload, scale float64) {
+	header(fmt.Sprintf("Figure 4: %s (%s)", w.Name, w.FOMUnit))
+	m := hm.MachineFor(w)
+	cfg := hm.ExecuteConfig{Machine: m, Seed: 21}
+
+	ddr, err := hm.RunBaseline(w, hm.BaselineDDR, scaled(cfg, scale))
+	check(err)
+	numactl, err := hm.RunBaseline(w, hm.BaselineNumactl, scaled(cfg, scale))
+	check(err)
+	autohbw, err := hm.RunBaseline(w, hm.BaselineAutoHBW, scaled(cfg, scale))
+	check(err)
+	cache, err := hm.RunBaseline(w, hm.BaselineCacheMode, scaled(cfg, scale))
+	check(err)
+
+	var rows []fig4Row
+	mcTotal := int64(16 * units.GB)
+	if w.Ranks > 1 {
+		mcTotal /= int64(w.Ranks)
+	}
+	rows = append(rows,
+		fig4Row{"DDR", ddr.FOM, 0, 0},
+		fig4Row{"MCDRAM*(numactl)", numactl.FOM, numactl.HBWHWM, hm.DeltaFOMPerMB(numactl.FOM, ddr.FOM, mcTotal)},
+		fig4Row{"autohbw/1m", autohbw.FOM, autohbw.HBWHWM, 0},
+		fig4Row{"cache", cache.FOM, 0, hm.DeltaFOMPerMB(cache.FOM, ddr.FOM, mcTotal)},
+	)
+
+	strategies := []struct {
+		name string
+		s    hm.Strategy
+	}{
+		{"density", hm.StrategyDensity},
+		{"misses(0%)", hm.StrategyMisses(0)},
+		{"misses(1%)", hm.StrategyMisses(1)},
+		{"misses(5%)", hm.StrategyMisses(5)},
+	}
+	for _, budget := range hm.BudgetsFor(w) {
+		for _, st := range strategies {
+			pr, err := hm.Pipeline(w, hm.PipelineConfig{
+				Machine: m, Seed: 21, Budget: budget, Strategy: st.s, RefScale: scale,
+			})
+			check(err)
+			rows = append(rows, fig4Row{
+				label: fmt.Sprintf("%s @%s", st.name, units.HumanBytes(budget)),
+				fom:   pr.Run.FOM,
+				hwm:   pr.Run.HBWHWM,
+				dfom:  hm.DeltaFOMPerMB(pr.Run.FOM, ddr.FOM, budget),
+			})
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "config\t%s\tHWM MB\tΔFOM/MB\tvs DDR%%\n", w.FOMUnit)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%.5f\t%+.1f%%\n",
+			r.label, r.fom, r.hwm/units.MB, r.dfom, hm.ImprovementPct(r.fom, ddr.FOM))
+	}
+	tw.Flush()
+}
+
+func scaled(cfg hm.ExecuteConfig, scale float64) hm.ExecuteConfig {
+	cfg.RefScale = scale
+	return cfg
+}
+
+// figure5 reproduces the SNAP folded timeline.
+func figure5(scale float64) {
+	header("Figure 5: SNAP folded main-iteration timeline (framework placement)")
+	w, err := hm.WorkloadByName("snap")
+	check(err)
+	m := hm.MachineFor(w)
+	pr, err := hm.Pipeline(w, hm.PipelineConfig{
+		Machine: m, Seed: 31, Budget: 256 * units.MB,
+		Strategy: hm.StrategyMisses(0), RefScale: scale,
+		SamplePeriod: 600,
+	})
+	check(err)
+	// Fold the *production* run: re-profile it (monitored) under the
+	// framework placement to collect samples.
+	tr2, _, err := profileUnderFramework(w, m, pr.Report, scale)
+	check(err)
+	f, err := hm.Fold(tr2, 48, m.ClockHz)
+	check(err)
+
+	fmt.Printf("iterations folded: %d; canonical iteration: %.2f ms\n",
+		f.Iterations, f.MeanIterationCycles.Seconds(m.ClockHz)*1e3)
+	fmt.Println("\nroutine spans (fraction of iteration):")
+	for _, s := range f.Spans {
+		fmt.Printf("  %-16s %.2f..%.2f\n", s.Routine, s.StartFrac, s.EndFrac)
+	}
+	fmt.Println("\nMIPS curve (one row per bin):")
+	max := f.GlobalMaxMIPS()
+	for _, b := range f.Bins {
+		bar := int(b.MIPS / max * 50)
+		fmt.Printf("  %.2f %8.0f %s\n", b.StartFrac, b.MIPS, strings.Repeat("#", bar))
+	}
+	if minM, _, ok := f.MinMIPSIn("outer_src_calc"); ok {
+		fmt.Printf("\nouter_src_calc min MIPS: %.0f (global max %.0f) — the stack-spill dip\n", minM, max)
+	}
+}
+
+// profileUnderFramework runs w monitored while honouring the report —
+// the run Figure 5 visualizes.
+func profileUnderFramework(w *hm.Workload, m hm.Machine, rep *hm.PlacementReport, scale float64) (*hm.Trace, *hm.RunResult, error) {
+	return hm.ProfileWithPolicy(w, hm.ProfileConfig{
+		Machine: m, Seed: 33, RefScale: scale, SamplePeriod: 600,
+	}, rep)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// Command paramedir is Stage 2 of the framework (the Paramedir role):
+// it reduces a trace produced by cmd/tracer to per-object statistics —
+// sampled LLC misses and maximum requested size per allocation site —
+// and writes them as CSV for cmd/hmemadvisor.
+//
+//	paramedir -in hpcg.prv -out hpcg.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hm "repro"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace file (required)")
+	out := flag.String("out", "", "output CSV file (required)")
+	top := flag.Int("top", 10, "also print the top-N objects to stdout")
+	flag.Parse()
+
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := hm.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	prof, err := hm.Analyze(tr)
+	if err != nil {
+		fail(err)
+	}
+	o, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer o.Close()
+	if err := prof.WriteCSV(o); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d objects, %d samples (%d unattributed) -> %s\n",
+		prof.App, len(prof.Objects), prof.TotalSamples, prof.Unattributed, *out)
+	for i, obj := range prof.Objects {
+		if i >= *top {
+			break
+		}
+		kind := "dynamic"
+		if obj.Static {
+			kind = "static"
+		}
+		fmt.Printf("  %2d. misses=%-6d size=%-12d %-7s %s\n", i+1, obj.Misses, obj.MaxSize, kind, obj.ID)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "paramedir:", err)
+	os.Exit(1)
+}

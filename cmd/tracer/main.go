@@ -1,0 +1,58 @@
+// Command tracer is Stage 1 of the framework (the Extrae role): it
+// executes a workload with allocation instrumentation and PEBS
+// sampling on the DDR placement and writes the resulting trace file.
+//
+//	tracer -app hpcg -out hpcg.prv
+//	tracer -app snap -period 600 -minalloc 4096 -out snap.prv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hm "repro"
+	"repro/internal/units"
+)
+
+func main() {
+	app := flag.String("app", "", "workload to trace (required); one of: "+fmt.Sprint(hm.WorkloadNames()))
+	out := flag.String("out", "", "output trace file (required)")
+	period := flag.Uint64("period", 0, "PEBS sampling period in LLC misses (0 = scaled default)")
+	minAlloc := flag.Int64("minalloc", 4*units.KB, "smallest allocation to instrument, bytes")
+	seed := flag.Uint64("seed", 11, "simulation seed")
+	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
+	flag.Parse()
+
+	if *app == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := hm.WorkloadByName(*app)
+	if err != nil {
+		fail(err)
+	}
+	m := hm.MachineFor(w)
+	tr, res, err := hm.Profile(w, hm.ProfileConfig{
+		Machine: m, Seed: *seed, SamplePeriod: *period,
+		MinAllocSize: *minAlloc, RefScale: *scale,
+	})
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("traced %s: %d records, %d samples, %.2f%% monitoring overhead -> %s\n",
+		w.Name, len(tr.Records), res.Samples, res.MonitorOverheadFraction()*100, *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Baselines: the Section IV.D "general discussion" table — for every
+// Table I application, compare DDR, numactl -p 1, autohbw, MCDRAM
+// cache mode and the framework's best configuration, and print which
+// approach wins (the paper's three-way split).
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	hm "repro"
+)
+
+func main() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tDDR\tnumactl\tautohbw\tcache\tframework\twinner")
+	for _, w := range hm.Workloads() {
+		m := hm.MachineFor(w)
+		cfg := hm.ExecuteConfig{Machine: m, Seed: 21}
+		ddr, err := hm.RunBaseline(w, hm.BaselineDDR, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		numactl, err := hm.RunBaseline(w, hm.BaselineNumactl, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		autohbw, err := hm.RunBaseline(w, hm.BaselineAutoHBW, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache, err := hm.RunBaseline(w, hm.BaselineCacheMode, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Framework at the largest swept budget, better of the two
+		// strategy families.
+		budgets := hm.BudgetsFor(w)
+		budget := budgets[len(budgets)-1]
+		best := 0.0
+		for _, s := range []hm.Strategy{hm.StrategyDensity, hm.StrategyMisses(0)} {
+			pr, err := hm.Pipeline(w, hm.PipelineConfig{Machine: m, Seed: 21, Budget: budget, Strategy: s})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pr.Run.FOM > best {
+				best = pr.Run.FOM
+			}
+		}
+		winner := "framework"
+		top := best
+		for name, fom := range map[string]float64{
+			"numactl": numactl.FOM, "cache": cache.FOM, "autohbw": autohbw.FOM, "ddr": ddr.FOM,
+		} {
+			if fom > top {
+				winner, top = name, fom
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%s\n",
+			w.Name, ddr.FOM, numactl.FOM, autohbw.FOM, cache.FOM, best, winner)
+	}
+	tw.Flush()
+	fmt.Println("\npaper (Section IV): framework wins HPCG/miniFE/GTC-P;")
+	fmt.Println("cache mode wins Lulesh/MAXW-DGTD; numactl wins BT/CGPOP/SNAP.")
+}

@@ -1,0 +1,84 @@
+// Custom workload: author a new application model against the public
+// API and run it through the framework. The workload is a toy
+// molecular-dynamics-like code: a big cold trajectory buffer, hot
+// neighbour lists (gathered), hot force arrays, and per-iteration
+// scratch buffers.
+//
+//	go run ./examples/custom_workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hm "repro"
+)
+
+func buildWorkload() *hm.Workload {
+	return &hm.Workload{
+		Name: "minimd", Program: "minimd", Language: "C++", Parallelism: "MPI+OpenMP",
+		LinesOfCode: 3000, Ranks: 64, Threads: 4,
+		FOMName: "Steps/s", FOMUnit: "steps/s", WorkPerIteration: 1,
+		Iterations: 10,
+		Objects: []hm.ObjectSpec{
+			{Name: "trajectory", Class: hm.Dynamic, Size: 400 * hm.MB,
+				SitePath: []string{"main", "setup", "allocTrajectory"}},
+			{Name: "neighbors", Class: hm.Dynamic, Size: 48 * hm.MB,
+				SitePath: []string{"main", "setup", "allocNeighbors"}},
+			{Name: "forces", Class: hm.Dynamic, Size: 32 * hm.MB,
+				SitePath: []string{"main", "setup", "allocForces"}},
+			{Name: "positions", Class: hm.Dynamic, Size: 32 * hm.MB,
+				SitePath: []string{"main", "setup", "allocPositions"}},
+			{Name: "scratch", Class: hm.Dynamic, Lifetime: hm.LifetimeIteration,
+				Size: 4 * hm.MB, SitePath: []string{"main", "step", "allocScratch"}},
+			{Name: "cell.statics", Class: hm.Static, Size: 16 * hm.MB},
+		},
+		IterPhases: []hm.Phase{
+			{Routine: "force_compute", Instructions: 200000, Touches: []hm.Touch{
+				{Object: "neighbors", Pattern: hm.GatherRandom, Refs: 30000},
+				{Object: "forces", Pattern: hm.Sequential, Refs: 25000},
+				{Object: "positions", Pattern: hm.GatherRandom, Refs: 20000},
+				{Object: "scratch", Pattern: hm.Sequential, Refs: 8000},
+			}},
+			{Routine: "integrate", Instructions: 80000, Touches: []hm.Touch{
+				{Object: "positions", Pattern: hm.Sequential, Refs: 10000},
+				{Object: "trajectory", Pattern: hm.Sequential, Refs: 3000},
+				{Object: "cell.statics", Pattern: hm.Sequential, Refs: 4000},
+			}},
+		},
+	}
+}
+
+func main() {
+	w := buildWorkload()
+	if err := w.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	machine := hm.PerRankMachine(hm.DefaultKNL(), w.Ranks, w.Threads)
+
+	ddr, err := hm.RunBaseline(w, hm.BaselineDDR, hm.ExecuteConfig{Machine: machine, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on DDR: %.3f %s\n", w.Name, ddr.FOM, ddr.FOMUnit)
+
+	for _, budget := range []int64{32 * hm.MB, 64 * hm.MB, 128 * hm.MB} {
+		pr, err := hm.Pipeline(w, hm.PipelineConfig{
+			Machine: machine, Seed: 3, Budget: budget, Strategy: hm.StrategyDensity,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("framework @%3d MB: %.3f %s (%+.1f%%), promoted:",
+			budget/hm.MB, pr.Run.FOM, pr.Run.FOMUnit,
+			hm.ImprovementPct(pr.Run.FOM, ddr.FOM))
+		for _, e := range pr.Report.Entries {
+			if !e.Static {
+				fmt.Printf(" %dMB", e.Size/hm.MB)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nthe gathered neighbour/position arrays are selected first —")
+	fmt.Println("irregular accesses profit most from MCDRAM, as in the paper.")
+}

@@ -1,0 +1,77 @@
+// Folding: the Figure 5 analysis — fold the sparse PEBS samples of
+// many SNAP iterations into one canonical iteration and plot (as
+// ASCII) the routine timeline, the referenced address bands and the
+// MIPS evolution. Under the framework placement the MIPS rate
+// collapses inside outer_src_calc, whose register spills live on the
+// stack where the interposer cannot reach; under numactl the stack is
+// in MCDRAM and the dip disappears.
+//
+//	go run ./examples/folding
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hm "repro"
+)
+
+func main() {
+	w, err := hm.WorkloadByName("snap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := hm.MachineFor(w)
+
+	// Build the framework placement (stages 1-3).
+	pr, err := hm.Pipeline(w, hm.PipelineConfig{
+		Machine: m, Seed: 31, Budget: 256 * hm.MB, Strategy: hm.StrategyMisses(0),
+		SamplePeriod: 600,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Re-run monitored under the framework placement and fold.
+	tr, _, err := hm.ProfileWithPolicy(w, hm.ProfileConfig{
+		Machine: m, Seed: 33, SamplePeriod: 600,
+	}, pr.Report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := hm.Fold(tr, 40, m.ClockHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("folded %d iterations; canonical iteration = %.2f ms\n\n",
+		f.Iterations, f.MeanIterationCycles.Seconds(m.ClockHz)*1e3)
+
+	fmt.Println("routine timeline (fraction of iteration):")
+	for _, s := range f.Spans {
+		width := int((s.EndFrac - s.StartFrac) * 60)
+		pad := int(s.StartFrac * 60)
+		fmt.Printf("  %-16s %s%s\n", s.Routine, strings.Repeat(" ", pad), strings.Repeat("=", max(width, 1)))
+	}
+
+	fmt.Println("\nMIPS evolution (the outer_src_calc dip is the paper's Fig. 5 signature):")
+	maxMIPS := f.GlobalMaxMIPS()
+	for _, b := range f.Bins {
+		bar := int(b.MIPS / maxMIPS * 60)
+		fmt.Printf("  %4.2f %7.0f |%s\n", b.StartFrac, b.MIPS, strings.Repeat("#", bar))
+	}
+
+	minOuter, _, _ := f.MinMIPSIn("outer_src_calc")
+	fmt.Printf("\nouter_src_calc min MIPS = %.0f (%.0f%% of peak %.0f)\n",
+		minOuter, minOuter/maxMIPS*100, maxMIPS)
+	fmt.Printf("address points folded: %d samples across %d iterations\n",
+		len(f.Points), f.Iterations)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+// Quickstart: the complete four-stage framework on one application.
+//
+// It profiles miniFE on the DDR placement, analyzes the trace, asks
+// hmem_advisor for a 128 MB placement, re-runs under auto-hbwmalloc,
+// and reports the speedup — the end-to-end flow of Figure 2.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hm "repro"
+)
+
+func main() {
+	w, err := hm.WorkloadByName("minife")
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := hm.MachineFor(w) // one MPI rank's share of the node
+
+	// Stage 1+2+3+4 in one call.
+	res, err := hm.Pipeline(w, hm.PipelineConfig{
+		Machine:  machine,
+		Seed:     1,
+		Budget:   128 * hm.MB,
+		Strategy: hm.StrategyMisses(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application: %s (%s ranks x %d threads)\n", w.Name, w.Parallelism, w.Threads)
+	fmt.Printf("stage 1: %d trace records, %d PEBS samples (%.2f%% overhead)\n",
+		len(res.Trace.Records), res.ProfilingRun.Samples,
+		res.ProfilingRun.MonitorOverheadFraction()*100)
+	fmt.Printf("stage 2: %d data objects identified\n", len(res.Profile.Objects))
+	fmt.Printf("stage 3: %d objects selected for fast memory (budget %d MB)\n",
+		len(res.Report.Entries), res.Report.Budget/hm.MB)
+	for _, e := range res.Report.Entries {
+		fmt.Printf("         - %s (%d MB, %d sampled misses)\n", e.ID, e.Size/hm.MB, e.Misses)
+	}
+	fmt.Printf("stage 4: FOM %.0f %s vs %.0f on DDR (%+.1f%%), MCDRAM HWM %d MB\n",
+		res.Run.FOM, res.Run.FOMUnit, res.ProfilingRun.FOM,
+		hm.ImprovementPct(res.Run.FOM, res.ProfilingRun.FOM),
+		res.Run.HBWHWM/hm.MB)
+}

@@ -1,0 +1,485 @@
+// Package hybridmem is a reproduction of "Automating the Application
+// Data Placement in Hybrid Memory Systems" (Servat et al., IEEE
+// CLUSTER 2017) as a self-contained Go library.
+//
+// It implements the paper's four-stage profile-guided placement
+// framework over a deterministic simulation of an Intel Xeon Phi-class
+// hybrid memory node (DDR + MCDRAM):
+//
+//	Stage 1 — Profile:  run the application instrumented (Extrae):
+//	                    malloc/free call stacks + PEBS-sampled LLC
+//	                    misses -> trace.
+//	Stage 2 — Analyze:  reduce the trace to per-object statistics
+//	                    (Paramedir): sampled misses + max size.
+//	Stage 3 — Advise:   pick the objects to promote for a given fast-
+//	                    memory budget (hmem_advisor): Misses(θ) or
+//	                    Density greedy knapsacks.
+//	Stage 4 — Execute:  re-run the unmodified application with the
+//	                    interposition library (auto-hbwmalloc) routing
+//	                    the selected allocation sites to MCDRAM.
+//
+// The package also ships the paper's baselines (DDR, numactl -p 1,
+// autohbw, MCDRAM cache mode), the eight Table I workload analogs plus
+// STREAM, the Folding analysis of Figure 5, and the ΔFOM/MByte metric
+// of Equation 1. See DESIGN.md for the full system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package hybridmem
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/advisor"
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/folding"
+	"repro/internal/interpose"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/paramedir"
+	"repro/internal/predict"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Re-exported core types. The library's public surface is this root
+// package; internal packages are implementation.
+type (
+	// Workload is a synthetic application: objects, phases, FOM.
+	Workload = engine.Workload
+	// ObjectSpec declares one data object of a workload.
+	ObjectSpec = engine.ObjectSpec
+	// Phase is one routine execution within an iteration.
+	Phase = engine.Phase
+	// Touch is one phase's access work on one object.
+	Touch = engine.Touch
+	// RunResult summarizes one simulated execution.
+	RunResult = engine.Result
+	// Machine is the simulated memory-system configuration.
+	Machine = mem.Machine
+	// Trace is an Extrae-style instrumented-run recording.
+	Trace = trace.Trace
+	// ObjectProfile is Paramedir's per-object reduction.
+	ObjectProfile = paramedir.Profile
+	// PlacementReport is hmem_advisor's object selection.
+	PlacementReport = advisor.Report
+	// Strategy selects objects for the fast-memory knapsack.
+	Strategy = advisor.Strategy
+	// InterposeOptions tunes the auto-hbwmalloc library.
+	InterposeOptions = interpose.Options
+	// InterposeStats are auto-hbwmalloc's execution statistics.
+	InterposeStats = interpose.Stats
+	// Folded is the Figure 5 folded-iteration profile.
+	Folded = folding.Folded
+)
+
+// Storage classes and access patterns, re-exported for workload
+// authors.
+const (
+	Dynamic = engine.Dynamic
+	Static  = engine.Static
+	Stack   = engine.Stack
+
+	Sequential   = engine.Sequential
+	Strided      = engine.Strided
+	GatherRandom = engine.GatherRandom
+	PointerChase = engine.PointerChase
+
+	LifetimeProgram   = engine.LifetimeProgram
+	LifetimeIteration = engine.LifetimeIteration
+)
+
+// Byte units re-exported for configuration convenience.
+const (
+	KB = units.KB
+	MB = units.MB
+	GB = units.GB
+)
+
+// Placement strategies of hmem_advisor.
+var (
+	// StrategyDensity promotes by misses/byte profit density.
+	StrategyDensity Strategy = advisor.DensityStrategy{}
+	// StrategyExactDP is the impractical exact 0/1 knapsack reference.
+	StrategyExactDP Strategy = advisor.ExactDP{}
+)
+
+// StrategyMisses promotes by descending LLC misses with a percentage
+// threshold (the paper evaluates 0%, 1% and 5%).
+func StrategyMisses(thresholdPct float64) Strategy {
+	return advisor.MissesStrategy{Threshold: thresholdPct}
+}
+
+// DefaultKNL returns the reference Xeon Phi 7250-like node.
+func DefaultKNL() Machine { return mem.DefaultKNL() }
+
+// PerRankMachine derives the machine one MPI rank sees on a node
+// shared by ranks ranks of threads threads each.
+func PerRankMachine(node Machine, ranks, threads int) Machine {
+	return mem.PerRank(node, ranks, threads)
+}
+
+// CacheModeMachine reconfigures a machine with MCDRAM as a
+// direct-mapped memory-side cache.
+func CacheModeMachine(m Machine) Machine { return mem.WithCacheMode(m) }
+
+// Workloads returns the eight Table I application analogs.
+func Workloads() []*Workload { return apps.Catalog() }
+
+// WorkloadByName builds one Table I workload ("hpcg", "lulesh", "bt",
+// "minife", "cgpop", "snap", "maxw-dgtd", "gtc-p").
+func WorkloadByName(name string) (*Workload, error) { return apps.ByName(name) }
+
+// WorkloadNames lists the registered workload names.
+func WorkloadNames() []string { return apps.Names() }
+
+// StreamWorkload returns the STREAM Triad kernel of Figure 1.
+func StreamWorkload() *Workload { return apps.Stream() }
+
+// StreamCoreCounts returns Figure 1's core-count sweep.
+func StreamCoreCounts() []int { return apps.StreamCoreCounts() }
+
+// MachineFor returns the per-rank machine a workload runs on.
+func MachineFor(w *Workload) Machine { return apps.MachineFor(w) }
+
+// BudgetsFor returns the Figure 4 MCDRAM budget sweep for a workload.
+func BudgetsFor(w *Workload) []int64 { return apps.Budgets(w) }
+
+// DeltaFOMPerMB is Equation 1: fast-memory efficiency of a result.
+func DeltaFOMPerMB(fom, fomDDR float64, memBytes int64) float64 {
+	return metrics.DeltaFOMPerMB(fom, fomDDR, memBytes)
+}
+
+// ImprovementPct is the percentage FOM improvement over a baseline.
+func ImprovementPct(fom, base float64) float64 { return metrics.ImprovementPct(fom, base) }
+
+// Fold runs the Folding analysis (Figure 5) over a monitored run's
+// trace.
+func Fold(tr *Trace, bins int, clockHz float64) (*Folded, error) {
+	return folding.Fold(tr, bins, clockHz)
+}
+
+// ReadTrace decodes a trace written with Trace.Write — the file format
+// the cmd/tracer and cmd/paramedir tools exchange.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// ReadReport decodes an advisor report written with
+// PlacementReport.Write.
+func ReadReport(r io.Reader) (*PlacementReport, error) { return advisor.ReadReport(r) }
+
+// ReadProfileCSV decodes Paramedir CSV output.
+func ReadProfileCSV(r io.Reader) (*ObjectProfile, error) { return paramedir.ReadCSV(r) }
+
+// AccessPattern classifies an object's sampled access regularity.
+type AccessPattern = paramedir.AccessPattern
+
+// Pattern classes, re-exported from the analyzer.
+const (
+	PatternUnknown   = paramedir.PatternUnknown
+	PatternRegular   = paramedir.PatternRegular
+	PatternIrregular = paramedir.PatternIrregular
+)
+
+// ClassifyPatterns derives per-object access-pattern classes from a
+// profiling trace (Section V: regular vs irregular regions feed
+// latency-aware placement).
+func ClassifyPatterns(prof *ObjectProfile, tr *Trace) map[string]AccessPattern {
+	return paramedir.ClassifyPatterns(prof, tr)
+}
+
+// StrategyPatternAware weights profit density by access regularity:
+// streams get MCDRAM's bandwidth; latency-bound irregular objects are
+// discounted (MCDRAM's idle latency is worse than DDR's).
+func StrategyPatternAware(patterns map[string]AccessPattern) Strategy {
+	return advisor.PatternAwareStrategy{Patterns: patterns}
+}
+
+// HotRange is the critical portion of an object identified from its
+// sampled misses.
+type HotRange = paramedir.HotRange
+
+// AnalyzeHotRanges finds, per profiled object, the smallest contiguous
+// range covering most of its sampled misses — the input to partitioned
+// placement (Section V).
+func AnalyzeHotRanges(prof *ObjectProfile, tr *Trace) map[string]HotRange {
+	return paramedir.AnalyzeHotRanges(prof, tr)
+}
+
+// AdvisePartitioned packs like Advise but, when an object does not fit
+// the remaining budget whole, places only its hot range; auto-hbwmalloc
+// then binds just those pages to fast memory (simulated mbind) — the
+// paper's final future-work item.
+func AdvisePartitioned(prof *ObjectProfile, tr *Trace, budget int64, strat Strategy) (*PlacementReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("hybridmem: nil profile")
+	}
+	hot := paramedir.AnalyzeHotRanges(prof, tr)
+	return advisor.AdvisePartitioned(prof.App, advisor.FromProfile(prof), hot, advisor.TwoTier(budget), strat)
+}
+
+// Prediction is the outcome of a trace-replay performance prediction.
+type Prediction = predict.Prediction
+
+// PredictPlacement replays a profiling trace against a placement
+// report and predicts the speedup over the DDR run WITHOUT executing
+// stage 4 — the trace-replay simulator the paper's Section V proposes
+// for screening candidate placements.
+func PredictPlacement(tr *Trace, rep *PlacementReport, m Machine) (*Prediction, error) {
+	return predict.Replay(tr, rep, m)
+}
+
+// RankPlacements predicts several candidate reports at once and
+// returns their indices ordered best-first plus each prediction.
+func RankPlacements(tr *Trace, reports []*PlacementReport, m Machine) ([]int, []*Prediction, error) {
+	return predict.RankPlacements(tr, reports, m)
+}
+
+// ProfileConfig parameterizes Stage 1.
+type ProfileConfig struct {
+	Machine Machine
+	// Cores used by the run (0 = all machine cores).
+	Cores int
+	Seed  uint64
+	// SamplePeriod is the PEBS decimation (0 = the paper's 37,589).
+	SamplePeriod uint64
+	// MinAllocSize skips instrumenting small allocations (0 = 4 KB).
+	MinAllocSize int64
+	// RefScale scales simulated access volume (0 = 1.0).
+	RefScale float64
+}
+
+// DefaultScaledPeriod is the default PEBS period for the scaled
+// simulation. The paper samples 1 out of every 37,589 L2 misses
+// (pebs.DefaultPeriod) over runs issuing billions of references; this
+// repository's runs are scaled to a few million references, so the
+// period is scaled by the same factor to preserve the paper's
+// samples-per-process range (thousands — Table I) and its statistical
+// attribution quality.
+const DefaultScaledPeriod = 1499
+
+func (c *ProfileConfig) fill() {
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = DefaultScaledPeriod
+	}
+	if c.MinAllocSize == 0 {
+		c.MinAllocSize = 4 * units.KB
+	}
+}
+
+// Profile is Stage 1: execute w on the DDR placement with Extrae-style
+// instrumentation and PEBS sampling, returning the trace and the
+// profiling run's result (whose overhead column feeds Table I).
+func Profile(w *Workload, cfg ProfileConfig) (*Trace, *RunResult, error) {
+	cfg.fill()
+	res, err := engine.Run(w, engine.Config{
+		Machine:    cfg.Machine,
+		Cores:      cfg.Cores,
+		Seed:       cfg.Seed,
+		MakePolicy: baseline.DDR(),
+		RefScale:   cfg.RefScale,
+		Monitor: &engine.MonitorConfig{
+			SamplePeriod: cfg.SamplePeriod,
+			MinAllocSize: cfg.MinAllocSize,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Trace, res, nil
+}
+
+// ProfileWithPolicy runs w monitored while honouring an advisor report
+// through auto-hbwmalloc — the run the Figure 5 folding visualizes
+// (instrumenting the production placement instead of the DDR one).
+func ProfileWithPolicy(w *Workload, cfg ProfileConfig, rep *PlacementReport) (*Trace, *RunResult, error) {
+	cfg.fill()
+	res, err := engine.Run(w, engine.Config{
+		Machine:    cfg.Machine,
+		Cores:      cfg.Cores,
+		Seed:       cfg.Seed,
+		MakePolicy: interpose.Factory(rep, InterposeOptions{}),
+		RefScale:   cfg.RefScale,
+		Monitor: &engine.MonitorConfig{
+			SamplePeriod: cfg.SamplePeriod,
+			MinAllocSize: cfg.MinAllocSize,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Trace, res, nil
+}
+
+// Analyze is Stage 2: reduce a trace to per-object statistics.
+func Analyze(tr *Trace) (*ObjectProfile, error) { return paramedir.Analyze(tr) }
+
+// Advise is Stage 3: select the objects to promote into a fast-memory
+// budget using the given strategy.
+func Advise(prof *ObjectProfile, budget int64, strat Strategy) (*PlacementReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("hybridmem: nil profile")
+	}
+	return advisor.Advise(prof.App, advisor.FromProfile(prof), advisor.TwoTier(budget), strat)
+}
+
+// AdviseTimeAware is the liveness-aware variant of Advise suggested in
+// Section III: instead of budgeting the sum of every selected site's
+// maximum size (the static-address-space assumption that misleads the
+// advisor on churny applications like Lulesh), it packs against the
+// peak CONCURRENT footprint reconstructed from the trace's allocation
+// timeline.
+func AdviseTimeAware(prof *ObjectProfile, budget int64, strat Strategy) (*PlacementReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("hybridmem: nil profile")
+	}
+	return advisor.AdviseTimeAware(prof.App, advisor.FromProfileTimed(prof), advisor.TwoTier(budget), strat)
+}
+
+// ExecuteConfig parameterizes Stage 4 and baseline runs.
+type ExecuteConfig struct {
+	Machine  Machine
+	Cores    int
+	Seed     uint64
+	RefScale float64
+}
+
+// Execute is Stage 4: re-run w with auto-hbwmalloc honouring the
+// advisor report.
+func Execute(w *Workload, rep *PlacementReport, opts InterposeOptions, cfg ExecuteConfig) (*RunResult, error) {
+	return engine.Run(w, engine.Config{
+		Machine:    cfg.Machine,
+		Cores:      cfg.Cores,
+		Seed:       cfg.Seed,
+		RefScale:   cfg.RefScale,
+		MakePolicy: interpose.Factory(rep, opts),
+	})
+}
+
+// Baseline identifies one of the paper's comparison placements.
+type Baseline uint8
+
+// The four Figure 4 reference placements.
+const (
+	// BaselineDDR places everything in regular memory.
+	BaselineDDR Baseline = iota
+	// BaselineNumactl is numactl -p 1: first-touch into MCDRAM with
+	// DDR fallback, statics and stack included.
+	BaselineNumactl
+	// BaselineAutoHBW is the autohbw library with a 1 MB threshold.
+	BaselineAutoHBW
+	// BaselineCacheMode configures MCDRAM as a memory-side cache.
+	BaselineCacheMode
+)
+
+// String implements fmt.Stringer.
+func (b Baseline) String() string {
+	switch b {
+	case BaselineDDR:
+		return "ddr"
+	case BaselineNumactl:
+		return "numactl"
+	case BaselineAutoHBW:
+		return "autohbw/1m"
+	case BaselineCacheMode:
+		return "cache"
+	default:
+		return fmt.Sprintf("baseline(%d)", uint8(b))
+	}
+}
+
+// RunBaseline executes w under one of the comparison placements.
+func RunBaseline(w *Workload, b Baseline, cfg ExecuteConfig) (*RunResult, error) {
+	ec := engine.Config{
+		Machine:  cfg.Machine,
+		Cores:    cfg.Cores,
+		Seed:     cfg.Seed,
+		RefScale: cfg.RefScale,
+	}
+	switch b {
+	case BaselineDDR:
+		ec.MakePolicy = baseline.DDR()
+	case BaselineNumactl:
+		ec.MakePolicy = baseline.Numactl()
+		ec.StaticsInFast = true
+	case BaselineAutoHBW:
+		ec.MakePolicy = baseline.AutoHBW(1 * units.MB)
+	case BaselineCacheMode:
+		ec.Machine = mem.WithCacheMode(cfg.Machine)
+		ec.MakePolicy = baseline.DDR()
+	default:
+		return nil, fmt.Errorf("hybridmem: unknown baseline %v", b)
+	}
+	return engine.Run(w, ec)
+}
+
+// PipelineConfig drives all four stages end to end.
+type PipelineConfig struct {
+	Machine      Machine
+	Cores        int
+	Seed         uint64
+	SamplePeriod uint64
+	MinAllocSize int64
+	RefScale     float64
+	// Budget is the fast-memory budget per rank.
+	Budget int64
+	// Strategy is the hmem_advisor packing strategy.
+	Strategy Strategy
+	// TimeAware selects with AdviseTimeAware (peak-concurrent budget)
+	// instead of the stock whole-run-liveness packing.
+	TimeAware bool
+	// Interpose tunes the run-time library.
+	Interpose InterposeOptions
+}
+
+// PipelineResult carries every stage's artifact.
+type PipelineResult struct {
+	Trace        *Trace
+	ProfilingRun *RunResult
+	Profile      *ObjectProfile
+	Report       *PlacementReport
+	Run          *RunResult
+}
+
+// Pipeline executes the complete framework: profile on DDR, analyze,
+// advise for the budget, and re-run under auto-hbwmalloc.
+func Pipeline(w *Workload, cfg PipelineConfig) (*PipelineResult, error) {
+	if cfg.Strategy == nil {
+		cfg.Strategy = StrategyMisses(0)
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("hybridmem: Pipeline needs a positive Budget")
+	}
+	tr, profRun, err := Profile(w, ProfileConfig{
+		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
+		SamplePeriod: cfg.SamplePeriod, MinAllocSize: cfg.MinAllocSize,
+		RefScale: cfg.RefScale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hybridmem: profile stage: %w", err)
+	}
+	prof, err := Analyze(tr)
+	if err != nil {
+		return nil, fmt.Errorf("hybridmem: analyze stage: %w", err)
+	}
+	advise := Advise
+	if cfg.TimeAware {
+		advise = AdviseTimeAware
+	}
+	rep, err := advise(prof, cfg.Budget, cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("hybridmem: advise stage: %w", err)
+	}
+	// The production run uses a different seed half: same program,
+	// different ASLR layout — translation must bridge it.
+	res, err := Execute(w, rep, cfg.Interpose, ExecuteConfig{
+		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed + 0x9e37,
+		RefScale: cfg.RefScale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hybridmem: execute stage: %w", err)
+	}
+	return &PipelineResult{
+		Trace: tr, ProfilingRun: profRun, Profile: prof, Report: rep, Run: res,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/paramedir"
+	"repro/internal/units"
+)
+
+// Partitioned placement (Section V, last future-work item): when a
+// data object does not fit the fast tier — or is not uniformly
+// accessed — place only its critical portion. The hot-range analysis
+// of Paramedir supplies the per-object critical portions; the advisor
+// considers, for every candidate that does not fit whole, a partition
+// entry covering just the hot range; auto-hbwmalloc then binds that
+// sub-range's pages to fast memory at allocation time.
+
+// partitionMinShare is the minimum sample share a hot range must cover
+// for a partition to be worthwhile: misses outside the placed range
+// stay slow, so a diffuse object gains too little.
+const partitionMinShare = 0.70
+
+// AdvisePartitioned packs like the stock advisor but, when a candidate
+// does not fit the remaining budget as a whole, tries its hot range
+// instead. Partition entries carry PartOffset/PartSize and their
+// misses are discounted by the range's sample share.
+func AdvisePartitioned(app string, objs []Object, hot map[string]paramedir.HotRange,
+	mc MemoryConfig, strat Strategy) (*Report, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if strat == nil {
+		return nil, fmt.Errorf("advisor: nil strategy")
+	}
+	tiers := append([]TierConfig(nil), mc.Tiers...)
+	sort.SliceStable(tiers, func(i, j int) bool { return tiers[i].RelativePerf > tiers[j].RelativePerf })
+	fast := tiers[0]
+
+	// Strategy supplies the order (unbounded pack); the fit loop below
+	// applies whole-or-partition placement.
+	ordered := strat.Select(objs, 1<<62)
+
+	rep := &Report{App: app, Strategy: strat.Name() + "+partition", Budget: fast.Capacity}
+	remaining := fast.Capacity / units.PageSize
+	for _, o := range ordered {
+		pages := o.pages()
+		if pages > 0 && pages <= remaining {
+			remaining -= pages
+			rep.Entries = append(rep.Entries, Entry{
+				Tier: fast.Name, ID: o.ID, Site: o.Site, Size: o.Size,
+				Misses: o.Misses, Static: o.Static,
+			})
+			continue
+		}
+		// Whole object does not fit: try the hot range.
+		hr, ok := hot[o.ID]
+		if !ok || o.Static || hr.SampleShare < partitionMinShare || hr.Size >= o.Size {
+			continue
+		}
+		hp := units.PagesFor(hr.Size)
+		if hp == 0 || hp > remaining {
+			continue
+		}
+		remaining -= hp
+		rep.Entries = append(rep.Entries, Entry{
+			Tier: fast.Name, ID: o.ID, Site: o.Site, Size: o.Size,
+			Misses:     int64(float64(o.Misses) * hr.SampleShare),
+			PartOffset: hr.Offset, PartSize: hr.Size,
+		})
+	}
+	rep.computeSizeBounds()
+	return rep, nil
+}
+
+// Partitions returns the partition entries of a report, keyed by site.
+func (r *Report) Partitions() map[string]Entry {
+	out := make(map[string]Entry)
+	for _, e := range r.Entries {
+		if e.PartSize > 0 && !e.Static {
+			out[string(e.Site)] = e
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package advisor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/callstack"
+	"repro/internal/units"
+)
+
+// TierConfig describes one memory tier for the advisor, mirroring the
+// paper's hmem_advisor configuration file (size + relative
+// performance).
+type TierConfig struct {
+	Name         string
+	Capacity     int64
+	RelativePerf float64
+}
+
+// MemoryConfig is the machine description the advisor packs against.
+type MemoryConfig struct {
+	Tiers []TierConfig
+}
+
+// TwoTier returns the common DDR+MCDRAM configuration with the given
+// fast-tier budget (the paper sweeps 32–256 MB per rank).
+func TwoTier(fastBudget int64) MemoryConfig {
+	return MemoryConfig{Tiers: []TierConfig{
+		{Name: "MCDRAM", Capacity: fastBudget, RelativePerf: 4.8},
+		{Name: "DDR", Capacity: 96 * units.GB, RelativePerf: 1.0},
+	}}
+}
+
+// Validate reports configuration errors.
+func (mc *MemoryConfig) Validate() error {
+	if len(mc.Tiers) < 2 {
+		return fmt.Errorf("advisor: need at least two tiers, got %d", len(mc.Tiers))
+	}
+	for _, t := range mc.Tiers {
+		if t.Capacity <= 0 {
+			return fmt.Errorf("advisor: tier %q capacity must be positive", t.Name)
+		}
+		if t.RelativePerf <= 0 {
+			return fmt.Errorf("advisor: tier %q relative perf must be positive", t.Name)
+		}
+	}
+	return nil
+}
+
+// Entry is one promoted object in the advisor report.
+type Entry struct {
+	Tier   string
+	ID     string
+	Site   callstack.Key
+	Size   int64
+	Misses int64
+	Static bool
+	// PartOffset/PartSize, when PartSize > 0, restrict the promotion
+	// to the object's critical portion: auto-hbwmalloc binds only
+	// [PartOffset, PartOffset+PartSize) of the allocation to fast
+	// memory (Section V partitioned placement).
+	PartOffset int64
+	PartSize   int64
+}
+
+// Report is hmem_advisor's output: the objects to place on each
+// non-default tier, plus the lb/ub size pre-filter bounds the
+// interposition library uses to skip unwinding for out-of-range
+// allocations (Algorithm 1, line 3).
+type Report struct {
+	App      string
+	Strategy string
+	// Budget is the fast-tier byte budget the selection was made for;
+	// auto-hbwmalloc enforces it at run time.
+	Budget  int64
+	Entries []Entry
+	// LBSize/UBSize bound the sizes of selected dynamic objects.
+	LBSize, UBSize int64
+}
+
+// Advise packs the candidate objects into the configured tiers in
+// descending order of relative performance (solving one knapsack per
+// tier, as dmem_advisor does); the slowest tier is the implicit
+// default and absorbs the remainder. Static objects participate in the
+// packing — promoting them is valuable advice for a developer — but
+// are flagged so the interposer knows it cannot act on them.
+func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if strat == nil {
+		return nil, fmt.Errorf("advisor: nil strategy")
+	}
+	tiers := append([]TierConfig(nil), mc.Tiers...)
+	sort.SliceStable(tiers, func(i, j int) bool { return tiers[i].RelativePerf > tiers[j].RelativePerf })
+
+	rep := &Report{App: app, Strategy: strat.Name(), Budget: tiers[0].Capacity}
+	remaining := append([]Object(nil), objs...)
+	for _, tier := range tiers[:len(tiers)-1] {
+		chosen := strat.Select(remaining, tier.Capacity)
+		inChosen := make(map[string]bool, len(chosen))
+		for _, o := range chosen {
+			inChosen[o.ID] = true
+			rep.Entries = append(rep.Entries, Entry{
+				Tier: tier.Name, ID: o.ID, Site: o.Site, Size: o.Size,
+				Misses: o.Misses, Static: o.Static,
+			})
+		}
+		next := remaining[:0]
+		for _, o := range remaining {
+			if !inChosen[o.ID] {
+				next = append(next, o)
+			}
+		}
+		remaining = next
+	}
+	rep.computeSizeBounds()
+	return rep, nil
+}
+
+func (r *Report) computeSizeBounds() {
+	r.LBSize, r.UBSize = 0, 0
+	first := true
+	for _, e := range r.Entries {
+		if e.Static {
+			continue
+		}
+		if first {
+			r.LBSize, r.UBSize = e.Size, e.Size
+			first = false
+			continue
+		}
+		if e.Size < r.LBSize {
+			r.LBSize = e.Size
+		}
+		if e.Size > r.UBSize {
+			r.UBSize = e.Size
+		}
+	}
+}
+
+// SelectedSites returns the set of dynamic call-stack keys to promote
+// WHOLE (what auto-hbwmalloc matches against). Partition entries are
+// excluded — they are served through Partitions instead.
+func (r *Report) SelectedSites() map[callstack.Key]bool {
+	m := make(map[callstack.Key]bool)
+	for _, e := range r.Entries {
+		if !e.Static && e.Site != "" && e.PartSize == 0 {
+			m[e.Site] = true
+		}
+	}
+	return m
+}
+
+// StaticAdvice returns the selected objects the interposer cannot move
+// — the human-readable part of the report aimed at developers willing
+// to edit the source (Section III, Step 3).
+func (r *Report) StaticAdvice() []Entry {
+	var out []Entry
+	for _, e := range r.Entries {
+		if e.Static {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PromotedBytes sums the page-aligned sizes of all entries.
+func (r *Report) PromotedBytes() int64 {
+	var s int64
+	for _, e := range r.Entries {
+		s += units.PageAlign(e.Size)
+	}
+	return s
+}
+
+// Write emits the report in its human-readable exchange format:
+//
+//	HMEM_ADVISOR <app>
+//	strategy <name>
+//	budget <bytes>
+//	lb <bytes>
+//	ub <bytes>
+//	object <tier> <static> <misses> <size> <id>|<site>
+func (r *Report) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "HMEM_ADVISOR\t%s\n", r.App)
+	fmt.Fprintf(bw, "strategy\t%s\n", r.Strategy)
+	fmt.Fprintf(bw, "budget\t%d\n", r.Budget)
+	fmt.Fprintf(bw, "lb\t%d\n", r.LBSize)
+	fmt.Fprintf(bw, "ub\t%d\n", r.UBSize)
+	for _, e := range r.Entries {
+		if e.PartSize > 0 {
+			fmt.Fprintf(bw, "object\t%s\t%t\t%d\t%d\t%s\t%s\t%d\t%d\n",
+				e.Tier, e.Static, e.Misses, e.Size, e.ID, e.Site, e.PartOffset, e.PartSize)
+			continue
+		}
+		fmt.Fprintf(bw, "object\t%s\t%t\t%d\t%d\t%s\t%s\n",
+			e.Tier, e.Static, e.Misses, e.Size, e.ID, e.Site)
+	}
+	return bw.Flush()
+}
+
+// ReadReport parses a report written by Write.
+func ReadReport(rd io.Reader) (*Report, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("advisor: empty report")
+	}
+	head := strings.SplitN(sc.Text(), "\t", 2)
+	if len(head) != 2 || head[0] != "HMEM_ADVISOR" {
+		return nil, fmt.Errorf("advisor: bad report header %q", sc.Text())
+	}
+	r := &Report{App: head[1]}
+	line := 1
+	for sc.Scan() {
+		line++
+		f := strings.Split(sc.Text(), "\t")
+		switch f[0] {
+		case "strategy":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("advisor: line %d: bad strategy", line)
+			}
+			r.Strategy = f[1]
+		case "budget", "lb", "ub":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("advisor: line %d: bad %s", line, f[0])
+			}
+			v, err := strconv.ParseInt(f[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("advisor: line %d: %v", line, err)
+			}
+			switch f[0] {
+			case "budget":
+				r.Budget = v
+			case "lb":
+				r.LBSize = v
+			case "ub":
+				r.UBSize = v
+			}
+		case "object":
+			if len(f) != 7 && len(f) != 9 {
+				return nil, fmt.Errorf("advisor: line %d: object needs 7 or 9 fields, got %d", line, len(f))
+			}
+			static, err := strconv.ParseBool(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("advisor: line %d: bad static flag", line)
+			}
+			misses, err := strconv.ParseInt(f[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("advisor: line %d: bad misses", line)
+			}
+			size, err := strconv.ParseInt(f[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("advisor: line %d: bad size", line)
+			}
+			e := Entry{
+				Tier: f[1], Static: static, Misses: misses, Size: size,
+				ID: f[5], Site: callstack.Key(f[6]),
+			}
+			if len(f) == 9 {
+				if e.PartOffset, err = strconv.ParseInt(f[7], 10, 64); err != nil {
+					return nil, fmt.Errorf("advisor: line %d: bad partition offset", line)
+				}
+				if e.PartSize, err = strconv.ParseInt(f[8], 10, 64); err != nil {
+					return nil, fmt.Errorf("advisor: line %d: bad partition size", line)
+				}
+			}
+			r.Entries = append(r.Entries, e)
+		case "":
+			// blank line tolerated
+		default:
+			return nil, fmt.Errorf("advisor: line %d: unknown directive %q", line, f[0])
+		}
+	}
+	return r, sc.Err()
+}

@@ -1,0 +1,398 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func newTestSpace() *Space {
+	return NewSpace(mem.NewPageTable(mem.TierDDR))
+}
+
+func newTestArena(t *testing.T, size int64) *Arena {
+	t.Helper()
+	seg, err := newTestSpace().AddSegment("test", size, mem.TierDDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewArena(seg)
+}
+
+func TestSpaceSegmentsDisjointAndTiered(t *testing.T) {
+	pt := mem.NewPageTable(mem.TierDDR)
+	sp := NewSpace(pt)
+	a, err := sp.AddSegment("a", units.MB, mem.TierMCDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.AddSegment("b", units.MB, mem.TierDDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End() > b.Base {
+		t.Fatal("segments overlap")
+	}
+	if pt.TierOf(a.Base) != mem.TierMCDRAM || pt.TierOf(b.Base) != mem.TierDDR {
+		t.Fatal("segment tiers not recorded in page table")
+	}
+	if seg, ok := sp.SegmentOf(a.Base + 100); !ok || seg.Name != "a" {
+		t.Fatal("SegmentOf failed for interior address")
+	}
+	if _, ok := sp.SegmentOf(a.End() + 5); ok {
+		t.Fatal("SegmentOf matched gap address")
+	}
+}
+
+func TestSpaceRejectsBadSize(t *testing.T) {
+	sp := newTestSpace()
+	if _, err := sp.AddSegment("bad", 0, mem.TierDDR); err == nil {
+		t.Fatal("zero-size segment accepted")
+	}
+}
+
+func TestSpaceRetier(t *testing.T) {
+	pt := mem.NewPageTable(mem.TierDDR)
+	sp := NewSpace(pt)
+	seg, _ := sp.AddSegment("statics", units.MB, mem.TierDDR)
+	sp.Retier(seg, mem.TierMCDRAM)
+	if pt.TierOf(seg.Base+1000) != mem.TierMCDRAM {
+		t.Fatal("Retier did not update page table")
+	}
+	got, _ := sp.SegmentOf(seg.Base)
+	if got.Tier != mem.TierMCDRAM {
+		t.Fatal("Retier did not update segment record")
+	}
+}
+
+func TestArenaMallocFreeRoundTrip(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	p, err := a.Malloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Owns(p) {
+		t.Fatal("arena does not own its own allocation")
+	}
+	if s, _ := a.SizeOf(p); s < 1000 {
+		t.Fatalf("SizeOf = %d, want >= 1000", s)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 0 {
+		t.Fatalf("used = %d after free, want 0", a.Used())
+	}
+	if a.HWM() < 1000 {
+		t.Fatalf("HWM = %d, want >= 1000", a.HWM())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	for i := 0; i < 10; i++ {
+		p, err := a.Malloc(int64(i*7 + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p%allocAlign != 0 {
+			t.Fatalf("allocation %d at %#x not %d-aligned", i, p, allocAlign)
+		}
+	}
+}
+
+func TestArenaZeroSizeMalloc(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	p, err := a.Malloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Owns(p) {
+		t.Fatal("zero-size allocation not tracked")
+	}
+}
+
+func TestArenaNegativeSize(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	if _, err := a.Malloc(-1); err == nil {
+		t.Fatal("negative malloc accepted")
+	}
+}
+
+func TestArenaOOM(t *testing.T) {
+	a := newTestArena(t, 10*units.KB)
+	if _, err := a.Malloc(11 * units.KB); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if a.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1", a.Failures())
+	}
+}
+
+func TestArenaDoubleFree(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	p, _ := a.Malloc(64)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestArenaFreeUnknown(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	if err := a.Free(0xdeadbeef); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestArenaCoalescingAllowsFullReuse(t *testing.T) {
+	a := newTestArena(t, 1*units.MB)
+	var ps []uint64
+	for i := 0; i < 8; i++ {
+		p, err := a.Malloc(100 * units.KB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	// Free in awkward order; afterwards one big alloc must succeed.
+	for _, i := range []int{1, 3, 5, 7, 0, 2, 4, 6} {
+		if err := a.Free(ps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Malloc(units.MB - allocAlign); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestArenaReallocGrowAndShrink(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	p, _ := a.Malloc(128)
+	// Shrink: stays in place.
+	q, err := a.Realloc(p, 64)
+	if err != nil || q != p {
+		t.Fatalf("shrink realloc moved (%#x -> %#x), err=%v", p, q, err)
+	}
+	// Grow: may move, must stay owned.
+	q, err = a.Realloc(p, 64*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Owns(q) {
+		t.Fatal("grown realloc not owned")
+	}
+	if q != p && a.Owns(p) {
+		t.Fatal("old allocation leaked after move")
+	}
+	// Realloc(0, n) behaves as malloc.
+	q2, err := a.Realloc(0, 100)
+	if err != nil || !a.Owns(q2) {
+		t.Fatalf("realloc(0, n) failed: %v", err)
+	}
+}
+
+func TestArenaHWMTracksPeak(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	p1, _ := a.Malloc(100 * units.KB)
+	p2, _ := a.Malloc(200 * units.KB)
+	peak := a.Used()
+	a.Free(p1)
+	a.Free(p2)
+	a.Malloc(10 * units.KB)
+	if a.HWM() != peak {
+		t.Fatalf("HWM = %d, want peak %d", a.HWM(), peak)
+	}
+}
+
+// TestArenaRandomTortureProperty drives random malloc/free/realloc
+// traffic and asserts allocator invariants plus non-overlap of live
+// allocations after every step batch.
+func TestArenaRandomTortureProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		sp := newTestSpace()
+		seg, _ := sp.AddSegment("torture", 256*units.KB, mem.TierDDR)
+		a := NewArena(seg)
+		r := xrand.New(seed)
+		live := map[uint64]int64{}
+		for step := 0; step < 300; step++ {
+			switch r.Intn(3) {
+			case 0, 1: // malloc biased
+				size := int64(r.Intn(4096) + 1)
+				p, err := a.Malloc(size)
+				if err != nil {
+					continue // OOM is legal under fragmentation
+				}
+				s, _ := a.SizeOf(p)
+				// Overlap check against all live allocations.
+				for q, qs := range live {
+					if p < q+uint64(qs) && q < p+uint64(s) {
+						return false
+					}
+				}
+				live[p] = s
+			case 2: // free a random live pointer
+				for p := range live {
+					if a.Free(p) != nil {
+						return false
+					}
+					delete(live, p)
+					break
+				}
+			}
+		}
+		return a.CheckInvariants() == nil && a.LiveAllocations() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemkindRouting(t *testing.T) {
+	sp := newTestSpace()
+	mk, err := NewMemkind(sp, 4*units.MB, 2*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := mk.Malloc(KindDefault, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := mk.Malloc(KindHBW, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := mk.KindOf(pd); k != KindDefault {
+		t.Fatalf("KindOf(default ptr) = %v", k)
+	}
+	if k, _ := mk.KindOf(ph); k != KindHBW {
+		t.Fatalf("KindOf(hbw ptr) = %v", k)
+	}
+	// Page table must place the HBW pointer on MCDRAM.
+	if sp.PageTable().TierOf(ph) != mem.TierMCDRAM {
+		t.Fatal("HBW allocation not on MCDRAM pages")
+	}
+	if sp.PageTable().TierOf(pd) != mem.TierDDR {
+		t.Fatal("default allocation not on DDR pages")
+	}
+	// Frees route by ownership.
+	if err := mk.Free(ph); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk.Free(pd); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk.Free(0x1234); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("foreign free err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestMemkindHBWCapacityIsEnforced(t *testing.T) {
+	mk, err := NewMemkind(newTestSpace(), 4*units.MB, 64*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mk.Malloc(KindHBW, 128*units.KB); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized HBW malloc err = %v, want OOM", err)
+	}
+	// Default heap still works.
+	if _, err := mk.Malloc(KindDefault, 128*units.KB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemkindReallocStaysInKind(t *testing.T) {
+	mk, _ := NewMemkind(newTestSpace(), 4*units.MB, units.MB)
+	p, _ := mk.Malloc(KindHBW, 128)
+	q, err := mk.Realloc(p, 100*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := mk.KindOf(q); k != KindHBW {
+		t.Fatalf("realloc moved across kinds: %v", k)
+	}
+	if q2, err := mk.Realloc(0, 100); err != nil || q2 == 0 {
+		t.Fatalf("realloc(0,n): %v", err)
+	}
+}
+
+func TestMemkindUnknownKind(t *testing.T) {
+	mk, _ := NewMemkind(newTestSpace(), units.MB, units.MB)
+	if _, err := mk.Malloc(Kind(42), 10); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDefault.String() != "default" || KindHBW.String() != "hbw" || Kind(7).String() != "kind(7)" {
+		t.Fatal("Kind.String labels wrong")
+	}
+}
+
+func BenchmarkArenaMallocFree(b *testing.B) {
+	seg, _ := newTestSpace().AddSegment("bench", 64*units.MB, mem.TierDDR)
+	a := NewArena(seg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Malloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestArenaExhaust(t *testing.T) {
+	a := newTestArena(t, units.MB)
+	p, _ := a.Malloc(100 * units.KB)
+	consumed := a.Exhaust()
+	if consumed <= 0 {
+		t.Fatal("Exhaust consumed nothing")
+	}
+	if a.Used() != units.MB {
+		t.Fatalf("used = %d after exhaust, want full segment", a.Used())
+	}
+	if _, err := a.Malloc(64); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatal("allocation succeeded on exhausted arena")
+	}
+	// The pre-existing allocation still frees correctly.
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Exhausting an already-exhausted arena is a no-op.
+	if a.Exhaust() != 0 && len(a.free) != 0 {
+		t.Fatal("second exhaust should consume at most the freed block")
+	}
+}
+
+func TestHBWAllocPenaltyBands(t *testing.T) {
+	small := HBWAllocPenalty(256 * units.KB)
+	band := HBWAllocPenalty(units.MB + 200*units.KB)
+	big := HBWAllocPenalty(16 * units.MB)
+	if band <= small || band <= big {
+		t.Fatalf("penalty band not pathological: small=%d band=%d big=%d", small, band, big)
+	}
+	if HBWAllocPenalty(units.MB) != band {
+		t.Fatal("1 MB boundary should be in the band")
+	}
+	if HBWAllocPenalty(2*units.MB) != big {
+		t.Fatal("2 MB boundary should be out of the band")
+	}
+}

@@ -1,0 +1,232 @@
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrOutOfMemory is returned when an arena cannot satisfy a request.
+var ErrOutOfMemory = errors.New("alloc: out of memory")
+
+// ErrBadFree is returned for frees of pointers the arena does not own.
+var ErrBadFree = errors.New("alloc: free of unowned pointer")
+
+// allocAlign is the allocation alignment, matching glibc's 16-byte
+// malloc alignment rounded up to one cache line so simulated objects
+// never share lines.
+const allocAlign = 64
+
+type freeBlock struct {
+	addr uint64
+	size int64
+}
+
+// Arena is a first-fit free-list allocator over one segment. It is the
+// simulated analog of one malloc implementation instance: the default
+// heap is one arena over a DDR segment; memkind's hbwmalloc is another
+// arena over an MCDRAM segment.
+type Arena struct {
+	seg  Segment
+	free []freeBlock // sorted by addr, coalesced
+	live map[uint64]int64
+
+	used, hwm                 int64
+	nMalloc, nFree, nFailures int64
+}
+
+// NewArena returns an allocator over seg with the whole segment free.
+func NewArena(seg Segment) *Arena {
+	return &Arena{
+		seg:  seg,
+		free: []freeBlock{{addr: seg.Base, size: seg.Size}},
+		live: make(map[uint64]int64),
+	}
+}
+
+func alignUp(n int64) int64 {
+	return (n + allocAlign - 1) &^ (allocAlign - 1)
+}
+
+// Malloc allocates size bytes and returns the simulated address.
+// Zero-size requests allocate one aligned unit, as glibc does.
+func (a *Arena) Malloc(size int64) (uint64, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("alloc: negative size %d", size)
+	}
+	if size == 0 {
+		size = 1
+	}
+	need := alignUp(size)
+	for i := range a.free {
+		if a.free[i].size >= need {
+			addr := a.free[i].addr
+			a.free[i].addr += uint64(need)
+			a.free[i].size -= need
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.live[addr] = need
+			a.used += need
+			if a.used > a.hwm {
+				a.hwm = a.used
+			}
+			a.nMalloc++
+			return addr, nil
+		}
+	}
+	a.nFailures++
+	return 0, fmt.Errorf("%w: %s needs %d bytes, %d free (fragmented into %d blocks)",
+		ErrOutOfMemory, a.seg.Name, need, a.seg.Size-a.used, len(a.free))
+}
+
+// Free releases the allocation starting at addr.
+func (a *Arena) Free(addr uint64) error {
+	size, ok := a.live[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x in arena %s", ErrBadFree, addr, a.seg.Name)
+	}
+	delete(a.live, addr)
+	a.used -= size
+	a.nFree++
+	a.insertFree(freeBlock{addr: addr, size: size})
+	return nil
+}
+
+// insertFree adds blk to the sorted free list, coalescing neighbours.
+func (a *Arena) insertFree(blk freeBlock) {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > blk.addr })
+	a.free = append(a.free, freeBlock{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = blk
+	// Coalesce with successor.
+	if i+1 < len(a.free) && a.free[i].addr+uint64(a.free[i].size) == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Coalesce with predecessor.
+	if i > 0 && a.free[i-1].addr+uint64(a.free[i-1].size) == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// Realloc resizes the allocation at addr to size, possibly moving it.
+// Like C realloc, Realloc(0, size) behaves as Malloc.
+func (a *Arena) Realloc(addr uint64, size int64) (uint64, error) {
+	if addr == 0 {
+		return a.Malloc(size)
+	}
+	old, ok := a.live[addr]
+	if !ok {
+		return 0, fmt.Errorf("%w: realloc of %#x", ErrBadFree, addr)
+	}
+	if alignUp(size) <= old {
+		return addr, nil // shrink in place
+	}
+	na, err := a.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := a.Free(addr); err != nil {
+		return 0, err
+	}
+	return na, nil
+}
+
+// Owns reports whether addr is a live allocation of this arena.
+func (a *Arena) Owns(addr uint64) bool {
+	_, ok := a.live[addr]
+	return ok
+}
+
+// SizeOf returns the rounded size of the live allocation at addr.
+func (a *Arena) SizeOf(addr uint64) (int64, bool) {
+	s, ok := a.live[addr]
+	return s, ok
+}
+
+// InSegment reports whether addr falls anywhere inside the arena's
+// segment (live or not) — the ownership test the interposer uses to
+// route frees to the correct allocator.
+func (a *Arena) InSegment(addr uint64) bool { return a.seg.Contains(addr) }
+
+// Used returns live bytes (aligned sizes).
+func (a *Arena) Used() int64 { return a.used }
+
+// HWM returns the high-water mark of Used over the arena's lifetime —
+// the VmHWM-style statistic Table I and the Fig. 4 middle column report.
+func (a *Arena) HWM() int64 { return a.hwm }
+
+// Capacity returns the segment size.
+func (a *Arena) Capacity() int64 { return a.seg.Size }
+
+// LiveAllocations returns the number of outstanding allocations.
+func (a *Arena) LiveAllocations() int { return len(a.live) }
+
+// Mallocs returns the cumulative successful allocation count.
+func (a *Arena) Mallocs() int64 { return a.nMalloc }
+
+// Frees returns the cumulative free count.
+func (a *Arena) Frees() int64 { return a.nFree }
+
+// Failures returns the number of allocation failures (OOM).
+func (a *Arena) Failures() int64 { return a.nFailures }
+
+// Segment returns the arena's segment.
+func (a *Arena) Segment() Segment { return a.seg }
+
+// Exhaust converts the entire free list into one synthetic live
+// allocation per free block and returns the bytes consumed. It models
+// numactl -p 1's page-granular first-touch behaviour: once a large
+// allocation overflows the fast tier, the remaining fast pages are
+// consumed by that object's leading pages and are never available to
+// later allocations.
+func (a *Arena) Exhaust() int64 {
+	var consumed int64
+	for _, b := range a.free {
+		a.live[b.addr] = b.size
+		a.used += b.size
+		consumed += b.size
+	}
+	a.free = a.free[:0]
+	if a.used > a.hwm {
+		a.hwm = a.used
+	}
+	return consumed
+}
+
+// CheckInvariants verifies internal consistency: the free list is
+// sorted, coalesced, in-bounds, non-overlapping with live allocations,
+// and free+used covers exactly the segment. Used by property tests.
+func (a *Arena) CheckInvariants() error {
+	var freeSum int64
+	prevEnd := a.seg.Base
+	for i, b := range a.free {
+		if b.size <= 0 {
+			return fmt.Errorf("free block %d has size %d", i, b.size)
+		}
+		if b.addr < prevEnd {
+			return fmt.Errorf("free list unsorted or overlapping at block %d", i)
+		}
+		if i > 0 && a.free[i-1].addr+uint64(a.free[i-1].size) == b.addr {
+			return fmt.Errorf("free blocks %d and %d not coalesced", i-1, i)
+		}
+		if b.addr < a.seg.Base || b.addr+uint64(b.size) > a.seg.End() {
+			return fmt.Errorf("free block %d out of segment bounds", i)
+		}
+		prevEnd = b.addr + uint64(b.size)
+		freeSum += b.size
+	}
+	var liveSum int64
+	for _, s := range a.live {
+		liveSum += s
+	}
+	if liveSum != a.used {
+		return fmt.Errorf("used=%d but live allocations sum to %d", a.used, liveSum)
+	}
+	if freeSum+liveSum != a.seg.Size {
+		return fmt.Errorf("free(%d)+live(%d) != segment size %d", freeSum, liveSum, a.seg.Size)
+	}
+	return nil
+}

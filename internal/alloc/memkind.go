@@ -1,0 +1,120 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+// Kind selects an allocation heap, mirroring the memkind library's
+// partition kinds (MEMKIND_DEFAULT, MEMKIND_HBW).
+type Kind uint8
+
+// The kinds of the reference two-tier machine.
+const (
+	KindDefault Kind = iota // regular DDR heap (glibc malloc)
+	KindHBW                 // high-bandwidth MCDRAM heap (hbwmalloc)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindDefault:
+		return "default"
+	case KindHBW:
+		return "hbw"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Memkind is the allocation façade the interposition library talks to:
+// one arena per kind over tier-bound segments, with pointer-ownership
+// routing for free/realloc. Allocations and frees must be matched
+// against the kind that performed them — exactly the bookkeeping
+// obligation Section III attributes to auto-hbwmalloc.
+type Memkind struct {
+	arenas map[Kind]*Arena
+	order  []Kind
+	space  *Space
+}
+
+// NewMemkind builds heaps over space: a DDR-backed default heap of
+// ddrHeap bytes and an MCDRAM-backed HBW heap of hbwHeap bytes.
+func NewMemkind(space *Space, ddrHeap, hbwHeap int64) (*Memkind, error) {
+	ddrSeg, err := space.AddSegment("heap-default", ddrHeap, mem.TierDDR)
+	if err != nil {
+		return nil, err
+	}
+	hbwSeg, err := space.AddSegment("heap-hbw", hbwHeap, mem.TierMCDRAM)
+	if err != nil {
+		return nil, err
+	}
+	return &Memkind{
+		arenas: map[Kind]*Arena{
+			KindDefault: NewArena(ddrSeg),
+			KindHBW:     NewArena(hbwSeg),
+		},
+		order: []Kind{KindDefault, KindHBW},
+		space: space,
+	}, nil
+}
+
+// BindPages rebinds the pages of [addr+offset, addr+offset+size) to
+// tier — the simulated mbind(2) used by partitioned placement to move
+// a sub-range of a DDR allocation into fast memory. The caller is
+// responsible for capacity accounting.
+func (mk *Memkind) BindPages(addr uint64, offset, size int64, tier mem.TierID) {
+	mk.space.PageTable().SetRange(addr+uint64(offset), size, tier)
+}
+
+// DefaultHeapSize is a comfortable default-heap reservation covering
+// every workload in the evaluation.
+const DefaultHeapSize = 32 * units.GB
+
+// Malloc allocates size bytes from kind's heap.
+func (mk *Memkind) Malloc(kind Kind, size int64) (uint64, error) {
+	a, ok := mk.arenas[kind]
+	if !ok {
+		return 0, fmt.Errorf("alloc: unknown kind %v", kind)
+	}
+	return a.Malloc(size)
+}
+
+// Free releases addr, routing to whichever heap owns it.
+func (mk *Memkind) Free(addr uint64) error {
+	for _, k := range mk.order {
+		if mk.arenas[k].InSegment(addr) {
+			return mk.arenas[k].Free(addr)
+		}
+	}
+	return fmt.Errorf("%w: %#x not in any heap", ErrBadFree, addr)
+}
+
+// Realloc resizes addr within its owning heap; addr==0 allocates from
+// KindDefault as C realloc(NULL, n) does.
+func (mk *Memkind) Realloc(addr uint64, size int64) (uint64, error) {
+	if addr == 0 {
+		return mk.Malloc(KindDefault, size)
+	}
+	for _, k := range mk.order {
+		if mk.arenas[k].InSegment(addr) {
+			return mk.arenas[k].Realloc(addr, size)
+		}
+	}
+	return 0, fmt.Errorf("%w: realloc %#x not in any heap", ErrBadFree, addr)
+}
+
+// KindOf returns the kind whose heap segment contains addr.
+func (mk *Memkind) KindOf(addr uint64) (Kind, bool) {
+	for _, k := range mk.order {
+		if mk.arenas[k].InSegment(addr) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Arena exposes the arena behind kind (stats, invariants).
+func (mk *Memkind) Arena(kind Kind) *Arena { return mk.arenas[kind] }

@@ -1,0 +1,27 @@
+package alloc
+
+import (
+	"repro/internal/units"
+)
+
+// HBWAllocPenalty models the extra cost of allocating through the
+// memkind HBW heap instead of the default allocator. The paper's
+// Section IV.C observes that "allocations ranging from 1 to 2 Mbytes
+// through memkind are more expensive than regular allocations" — the
+// effect that makes autohbw *lose* 8% on Lulesh, whose main loop
+// allocates and frees mid-sized objects continuously.
+func HBWAllocPenalty(size int64) units.Cycles {
+	const (
+		// fastPath: jemalloc-arena fast path, ~2 µs.
+		fastPath = 2800
+		// slowPath: the 1–2 MB pathological range falls out of the
+		// arena size classes into mmap+mbind with eager page
+		// population — several hundred 4 KB faults on freshly bound
+		// MCDRAM pages, ~45 µs for a 1.5 MB request.
+		slowPath = 63000
+	)
+	if size >= 1*units.MB && size < 2*units.MB {
+		return slowPath
+	}
+	return fastPath
+}

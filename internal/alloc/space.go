@@ -1,0 +1,98 @@
+// Package alloc implements the simulated dynamic-memory substrate: a
+// 64-bit virtual address space carved into per-tier segments, first-fit
+// free-list arena allocators over those segments (the glibc malloc and
+// memkind hbwmalloc stand-ins), and a memkind-style façade that routes
+// allocation kinds to arenas and keeps the placement page table
+// consistent.
+//
+// The paper's auto-hbwmalloc must route *real* allocation traffic
+// between two independent allocators, respect a fast-memory capacity
+// budget, keep per-allocator bookkeeping (who owns which pointer), and
+// report statistics such as the high-water mark. All of that behaviour
+// lives here.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Segment is a contiguous region of the simulated address space bound
+// to one memory tier.
+type Segment struct {
+	Name string
+	Base uint64
+	Size int64
+	Tier mem.TierID
+}
+
+// End returns one past the last byte of the segment.
+func (s Segment) End() uint64 { return s.Base + uint64(s.Size) }
+
+// Contains reports whether addr falls inside the segment.
+func (s Segment) Contains(addr uint64) bool {
+	return addr >= s.Base && addr < s.End()
+}
+
+// Space hands out non-overlapping segments of a simulated 64-bit
+// address space and records their tier in the page table.
+type Space struct {
+	next     uint64
+	segments []Segment
+	pt       *mem.PageTable
+}
+
+// segmentGap keeps unrelated segments far apart so out-of-bounds
+// accesses are guaranteed to fault in tests rather than alias.
+const segmentGap = 1 << 32
+
+// NewSpace returns an empty address space whose placements are recorded
+// in pt. Addresses start well above zero so that nil/small pointers
+// never alias a valid segment.
+func NewSpace(pt *mem.PageTable) *Space {
+	return &Space{next: 1 << 32, pt: pt}
+}
+
+// AddSegment reserves size bytes on tier and returns the segment.
+func (sp *Space) AddSegment(name string, size int64, tier mem.TierID) (Segment, error) {
+	if size <= 0 {
+		return Segment{}, fmt.Errorf("alloc: segment %q size must be positive, got %d", name, size)
+	}
+	seg := Segment{Name: name, Base: sp.next, Size: size, Tier: tier}
+	sp.next += uint64(size) + segmentGap
+	sp.segments = append(sp.segments, seg)
+	if err := sp.pt.SetCoarseRange(seg.Base, seg.Size, tier); err != nil {
+		return Segment{}, err
+	}
+	return seg, nil
+}
+
+// Retier moves an entire segment to a different tier (how the numactl
+// baseline moves static and stack data wholesale into MCDRAM).
+func (sp *Space) Retier(seg Segment, tier mem.TierID) {
+	for i := range sp.segments {
+		if sp.segments[i].Base == seg.Base {
+			sp.segments[i].Tier = tier
+			// Identical re-binding of an existing coarse range replaces
+			// its tier, so the error cannot fire here.
+			_ = sp.pt.SetCoarseRange(seg.Base, seg.Size, tier)
+			return
+		}
+	}
+}
+
+// SegmentOf returns the segment containing addr, if any.
+func (sp *Space) SegmentOf(addr uint64) (Segment, bool) {
+	i := sort.Search(len(sp.segments), func(i int) bool {
+		return sp.segments[i].End() > addr
+	})
+	if i < len(sp.segments) && sp.segments[i].Contains(addr) {
+		return sp.segments[i], true
+	}
+	return Segment{}, false
+}
+
+// PageTable exposes the placement table the space maintains.
+func (sp *Space) PageTable() *mem.PageTable { return sp.pt }

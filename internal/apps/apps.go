@@ -1,0 +1,93 @@
+// Package apps defines synthetic analogs of the eight applications the
+// paper evaluates (Table I) plus the STREAM Triad kernel of Figure 1.
+//
+// Each analog models, per rank, the object structure that drives the
+// paper's results: which objects are dynamic (and therefore movable by
+// the framework), static or stack-resident (movable only by numactl or
+// cache mode), how large they are, how hot they are, and whether the
+// application churns allocations inside its main loop. Access volumes
+// are scaled down (~1–3 M simulated references per run) so a full
+// Figure 4 sweep runs in seconds; sizes are paper-true bytes.
+//
+// The expected qualitative outcomes encoded here, from Section IV:
+//
+//	HPCG, miniFE, GTC-P  -> framework wins
+//	Lulesh, MAXW-DGTD    -> cache mode wins (churn / hidden hot data)
+//	BT, CGPOP, SNAP      -> numactl wins (static & stack data)
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+// registry maps workload name to constructor.
+var registry = map[string]func() *engine.Workload{
+	"hpcg":      HPCG,
+	"lulesh":    Lulesh,
+	"bt":        BT,
+	"minife":    MiniFE,
+	"cgpop":     CGPOP,
+	"snap":      SNAP,
+	"maxw-dgtd": MAXWDGTD,
+	"gtc-p":     GTCP,
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName builds the named workload.
+func ByName(name string) (*engine.Workload, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown workload %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Catalog builds every Table I workload, in the paper's order.
+func Catalog() []*engine.Workload {
+	return []*engine.Workload{
+		HPCG(), Lulesh(), BT(), MiniFE(),
+		CGPOP(), SNAP(), MAXWDGTD(), GTCP(),
+	}
+}
+
+// MachineFor derives the machine one rank of w sees: MPI workloads get
+// their per-rank share of the node, the OpenMP-only BT gets the whole
+// node (with the aggregate 32 MB L2).
+func MachineFor(w *engine.Workload) mem.Machine {
+	node := mem.DefaultKNL()
+	if w.Ranks <= 1 {
+		m := node
+		m.Cores = w.Threads
+		if m.Cores > node.Cores {
+			m.Cores = node.Cores
+		}
+		// The LLC stays at the per-tile 1 MB view: threads stream
+		// through their own tile's L2, which is the filter PEBS sees.
+		return m
+	}
+	return mem.PerRank(node, w.Ranks, w.Threads)
+}
+
+// Budgets returns the per-rank MCDRAM budgets swept in Figure 4:
+// 32–256 MB per rank for MPI applications, 32 MB–16 GB for the
+// OpenMP-only BT.
+func Budgets(w *engine.Workload) []int64 {
+	if w.Ranks <= 1 {
+		return []int64{32 * units.MB, 256 * units.MB, 2 * units.GB, 16 * units.GB}
+	}
+	return []int64{32 * units.MB, 64 * units.MB, 128 * units.MB, 256 * units.MB}
+}

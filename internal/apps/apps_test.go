@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+func TestAllWorkloadsValidate(t *testing.T) {
+	for _, w := range Catalog() {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if err := Stream().Validate(); err != nil {
+		t.Errorf("stream: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("names = %v, want 8 workloads", names)
+	}
+	for _, n := range names {
+		w, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != n {
+			t.Errorf("ByName(%q).Name = %q", n, w.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestCatalogMatchesTableIOrder(t *testing.T) {
+	want := []string{"hpcg", "lulesh", "bt", "minife", "cgpop", "snap", "maxw-dgtd", "gtc-p"}
+	got := Catalog()
+	if len(got) != len(want) {
+		t.Fatalf("catalog size = %d", len(got))
+	}
+	for i, w := range got {
+		if w.Name != want[i] {
+			t.Errorf("catalog[%d] = %s, want %s", i, w.Name, want[i])
+		}
+	}
+}
+
+func TestMachineForMPIIsPerRank(t *testing.T) {
+	w, _ := ByName("hpcg")
+	m := MachineFor(w)
+	if m.Cores != 4 {
+		t.Errorf("hpcg cores = %d, want 4 threads", m.Cores)
+	}
+	mc, _ := m.Tier(mem.TierMCDRAM)
+	if mc.Capacity != 16*units.GB/64 {
+		t.Errorf("per-rank MCDRAM = %d, want 256 MB", mc.Capacity)
+	}
+}
+
+func TestMachineForOpenMPIsFullNode(t *testing.T) {
+	w, _ := ByName("bt")
+	m := MachineFor(w)
+	if m.Cores != 68 {
+		t.Errorf("bt cores = %d, want 68 (272 threads on 68 cores)", m.Cores)
+	}
+	mc, _ := m.Tier(mem.TierMCDRAM)
+	if mc.Capacity != 16*units.GB {
+		t.Errorf("bt MCDRAM = %d, want full 16 GB", mc.Capacity)
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	hpcg, _ := ByName("hpcg")
+	b := Budgets(hpcg)
+	if len(b) != 4 || b[0] != 32*units.MB || b[3] != 256*units.MB {
+		t.Errorf("MPI budgets = %v", b)
+	}
+	bt, _ := ByName("bt")
+	b = Budgets(bt)
+	if b[len(b)-1] != 16*units.GB {
+		t.Errorf("BT budgets should reach 16 GB, got %v", b)
+	}
+}
+
+func TestWorkingSetsMatchTableIScale(t *testing.T) {
+	// Table I HWM per process (MB): the analogs should be in the same
+	// ballpark (within a factor ~2) so capacity effects reproduce.
+	want := map[string]int64{
+		"hpcg": 928, "lulesh": 859, "bt": 11136, "minife": 1022,
+		"cgpop": 158, "snap": 1022, "maxw-dgtd": 285, "gtc-p": 1329,
+	}
+	for _, w := range Catalog() {
+		total := (w.DynamicFootprint() + w.StaticFootprint() + w.StackFootprint()) / units.MB
+		paper := want[w.Name]
+		if total < paper/2 || total > paper*2 {
+			t.Errorf("%s working set = %d MB, paper HWM = %d MB (want within 2x)", w.Name, total, paper)
+		}
+	}
+}
+
+func TestHotDynamicObjectsExist(t *testing.T) {
+	// Every app must have at least one dynamic object the framework
+	// can promote and one phase touching it.
+	for _, w := range Catalog() {
+		touched := map[string]bool{}
+		for _, ph := range w.IterPhases {
+			for _, tc := range ph.Touches {
+				touched[tc.Object] = true
+			}
+		}
+		anyDynamic := false
+		for _, o := range w.Objects {
+			if o.Class == engine.Dynamic && touched[o.Name] {
+				anyDynamic = true
+				break
+			}
+		}
+		if !anyDynamic {
+			t.Errorf("%s: no touched dynamic object", w.Name)
+		}
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	s := Stream()
+	if s.FOMUnit != "GB/s" {
+		t.Errorf("stream FOM unit = %q", s.FOMUnit)
+	}
+	if len(StreamCoreCounts()) != 9 {
+		t.Errorf("core counts = %v, want the 9 Figure 1 points", StreamCoreCounts())
+	}
+	if s.DynamicFootprint() != 3*StreamArrayBytes {
+		t.Errorf("stream footprint = %d", s.DynamicFootprint())
+	}
+}

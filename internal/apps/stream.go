@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// StreamArrayBytes is the per-array size of the STREAM Triad kernel
+// used for Figure 1. Three arrays of 64 MB comfortably exceed every
+// cache while fitting both memory tiers, as on the paper's machine.
+const StreamArrayBytes = 64 * units.MB
+
+// streamRefsPerArray is the number of line-granular references each
+// Triad pass issues per array (scaled simulation volume).
+const streamRefsPerArray = 150000
+
+// Stream builds the STREAM Triad kernel (a[i] = b[i] + q*c[i]) used to
+// measure sustainable memory bandwidth in Figure 1. Its FOM is GB/s of
+// kernel traffic. Run it on the full node with varying core counts and
+// with the data placed on DDR, on MCDRAM (flat mode), or behind the
+// MCDRAM cache (cache mode) to regenerate the figure.
+func Stream() *engine.Workload {
+	return &engine.Workload{
+		Name: "stream", Program: "stream", Language: "C", Parallelism: "OpenMP",
+		LinesOfCode: 500, Ranks: 1, Threads: 68,
+		FOMName: "Bandwidth", FOMUnit: "GB/s",
+		// Each iteration moves 3 arrays x refs x 64 B;
+		// WorkPerIteration is that volume in GB so FOM = GB/s.
+		WorkPerIteration: float64(3*streamRefsPerArray*64) / 1e9,
+		// Six passes: one cold (the cache-mode fill) plus a steady
+		// state that dominates the measured bandwidth.
+		Iterations:      6,
+		AllocStatements: "3/0/3/0/0/0/0",
+		Objects: []engine.ObjectSpec{
+			{Name: "a", Class: engine.Dynamic, Size: StreamArrayBytes,
+				SitePath: []string{"main", "allocA"}},
+			{Name: "b", Class: engine.Dynamic, Size: StreamArrayBytes,
+				SitePath: []string{"main", "allocB"}},
+			{Name: "c", Class: engine.Dynamic, Size: StreamArrayBytes,
+				SitePath: []string{"main", "allocC"}},
+		},
+		IterPhases: []engine.Phase{
+			{Routine: "triad", Instructions: 3 * streamRefsPerArray, Touches: []engine.Touch{
+				{Object: "a", Pattern: engine.Sequential, Refs: streamRefsPerArray},
+				{Object: "b", Pattern: engine.Sequential, Refs: streamRefsPerArray},
+				{Object: "c", Pattern: engine.Sequential, Refs: streamRefsPerArray},
+			}},
+		},
+	}
+}
+
+// StreamCoreCounts are the X-axis points of Figure 1.
+func StreamCoreCounts() []int {
+	return []int{1, 2, 4, 8, 16, 32, 34, 64, 68}
+}

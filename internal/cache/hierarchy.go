@@ -1,0 +1,175 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Access outcomes, from fastest to slowest.
+const (
+	LevelL1 Level = iota
+	LevelLLC
+	LevelMCDRAMCache // cache-mode MCDRAM hit
+	LevelMemory      // served by a memory tier (flat mode) or DDR (cache mode miss)
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelLLC:
+		return "LLC"
+	case LevelMCDRAMCache:
+		return "MCDRAM$"
+	case LevelMemory:
+		return "MEM"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Result describes one access walked through the hierarchy.
+type Result struct {
+	Level Level
+	Tier  mem.TierID // meaningful when Level >= LevelMCDRAMCache
+}
+
+// Hierarchy wires L1 -> LLC -> (MCDRAM cache) -> memory tiers and
+// accumulates both hit-cost cycles and per-tier traffic. The OnLLCMiss
+// hook is where the PEBS engine taps the stream, exactly as PEBS
+// counts L2 miss events on Xeon Phi.
+type Hierarchy struct {
+	machine *mem.Machine
+	l1      *SetAssoc
+	llc     *SetAssoc
+	mcCache *DirectMapped // non-nil only in cache mode
+	pt      *mem.PageTable
+
+	traffic   *mem.Traffic
+	hitCycles units.Cycles
+
+	// OnLLCMiss, if set, observes every LLC miss (address included)
+	// before it is resolved against memory.
+	OnLLCMiss func(addr uint64)
+}
+
+// NewHierarchy builds the hierarchy for machine. pt supplies the
+// address→tier mapping used in flat mode; in cache mode all backing
+// store is DDR fronted by the MCDRAM cache and pt is ignored on the
+// memory path.
+func NewHierarchy(machine *mem.Machine, pt *mem.PageTable) (*Hierarchy, error) {
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	spec := machine.LLC
+	l1, err := NewSetAssoc("L1", spec.L1Size, spec.L1Ways, spec.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := NewSetAssoc("LLC", spec.Size, spec.Ways, spec.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		machine: machine,
+		l1:      l1,
+		llc:     llc,
+		pt:      pt,
+		traffic: mem.NewTraffic(),
+	}
+	if machine.Mode == mem.CacheMode {
+		mc, ok := machine.Tier(mem.TierMCDRAM)
+		if !ok {
+			return nil, fmt.Errorf("cache: cache mode requires an MCDRAM tier")
+		}
+		// Page-granular direct-mapped memory-side cache.
+		dm, err := NewDirectMapped(mc.Capacity, units.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		h.mcCache = dm
+	}
+	return h, nil
+}
+
+// Access walks one memory reference of the line containing addr
+// through the hierarchy, updating costs and traffic.
+func (h *Hierarchy) Access(addr uint64) Result {
+	if h.l1.Access(addr) {
+		h.hitCycles += h.machine.LLC.L1Hit
+		return Result{Level: LevelL1}
+	}
+	if h.llc.Access(addr) {
+		h.hitCycles += h.machine.LLC.HitCycles
+		return Result{Level: LevelLLC}
+	}
+	if h.OnLLCMiss != nil {
+		h.OnLLCMiss(addr)
+	}
+	line := h.machine.LineSize
+	if h.mcCache != nil {
+		// Cache mode: MCDRAM fronts DDR for all data.
+		if h.mcCache.Access(addr) {
+			h.traffic.Add(mem.TierMCDRAM, line)
+			return Result{Level: LevelMCDRAMCache, Tier: mem.TierMCDRAM}
+		}
+		// Miss: the demand line crosses DDR, plus ~0.5 lines of
+		// average fill/writeback overhead (a cache-mode miss moves
+		// data DDR->MCDRAM and evicts a possibly dirty victim, so its
+		// effective DDR cost exceeds a flat-mode access — the reason
+		// cache mode loses to conscious flat placement in the paper).
+		// The fill write also consumes MCDRAM bandwidth.
+		h.traffic.Add(mem.TierDDR, line)
+		h.traffic.Add(mem.TierDDR, line/4)
+		h.traffic.Add(mem.TierMCDRAM, line)
+		return Result{Level: LevelMemory, Tier: mem.TierDDR}
+	}
+	tier := h.pt.TierOf(addr)
+	h.traffic.Add(tier, line)
+	return Result{Level: LevelMemory, Tier: tier}
+}
+
+// DrainPhase converts the traffic accumulated since the last drain into
+// cycles for a region run on cores cores, adds the buffered cache-hit
+// cycles, and resets both accumulators. Callers invoke it at phase
+// boundaries so bandwidth contention is computed per phase.
+func (h *Hierarchy) DrainPhase(cores int) units.Cycles {
+	c := h.traffic.MemoryTime(h.machine, cores) + h.hitCycles
+	h.traffic.Reset()
+	h.hitCycles = 0
+	return c
+}
+
+// PendingTraffic exposes the not-yet-drained traffic (read-only use).
+func (h *Hierarchy) PendingTraffic() *mem.Traffic { return h.traffic }
+
+// LLCMisses returns cumulative LLC misses.
+func (h *Hierarchy) LLCMisses() int64 { return h.llc.Misses() }
+
+// LLCAccesses returns cumulative LLC lookups.
+func (h *Hierarchy) LLCAccesses() int64 { return h.llc.Accesses() }
+
+// L1 returns the L1 cache (for tests and ablation benches).
+func (h *Hierarchy) L1() *SetAssoc { return h.l1 }
+
+// LLC returns the last-level cache.
+func (h *Hierarchy) LLC() *SetAssoc { return h.llc }
+
+// MCDRAMCache returns the cache-mode front cache, or nil in flat mode.
+func (h *Hierarchy) MCDRAMCache() *DirectMapped { return h.mcCache }
+
+// ResetCaches invalidates all cache state (used between runs) without
+// touching traffic accumulators.
+func (h *Hierarchy) ResetCaches() {
+	h.l1.Reset()
+	h.llc.Reset()
+	if h.mcCache != nil {
+		h.mcCache.Reset()
+	}
+}

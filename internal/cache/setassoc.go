@@ -1,0 +1,113 @@
+// Package cache simulates the cache hierarchy that sits between the
+// simulated cores and the memory tiers: a set-associative L1 and
+// last-level cache (the Xeon Phi L2, whose misses PEBS samples), plus
+// the direct-mapped MCDRAM memory-side cache that models the
+// processor's "cache mode".
+//
+// The LLC is what turns raw access streams into the per-object miss
+// counts the whole framework reasons about, so its behaviour — capacity
+// misses for large working sets, conflict misses in the direct-mapped
+// MCDRAM cache — is what gives the evaluation its shape.
+package cache
+
+import "fmt"
+
+// SetAssoc is a set-associative cache with true-LRU replacement.
+type SetAssoc struct {
+	name      string
+	lineShift uint
+	setMask   uint64
+	ways      int
+	// tags is sets*ways entries; tag 0 means empty, stored tags are
+	// line-number+1. Within a set, index 0 is most recently used.
+	tags []uint64
+
+	hits, misses int64
+}
+
+// NewSetAssoc builds a cache of size bytes with the given associativity
+// and line size. size must be an exact multiple of ways*lineSize and
+// the resulting set count must be a power of two.
+func NewSetAssoc(name string, size int64, ways int, lineSize int64) (*SetAssoc, error) {
+	if ways <= 0 || lineSize <= 0 || size <= 0 {
+		return nil, fmt.Errorf("cache %s: size, ways, lineSize must be positive", name)
+	}
+	if lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", name, lineSize)
+	}
+	sets := size / (int64(ways) * lineSize)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a positive power of two (size=%d ways=%d line=%d)",
+			name, sets, size, ways, lineSize)
+	}
+	shift := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	return &SetAssoc{
+		name:      name,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		tags:      make([]uint64, sets*int64(ways)),
+	}, nil
+}
+
+// Access looks addr up, updating LRU state and installing the line on a
+// miss. It returns true on hit.
+func (c *SetAssoc) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	base := int(set) * c.ways
+	tag := line + 1
+	ts := c.tags[base : base+c.ways]
+	for i, t := range ts {
+		if t == tag {
+			// Move to front (most recently used).
+			copy(ts[1:i+1], ts[:i])
+			ts[0] = tag
+			c.hits++
+			return true
+		}
+	}
+	// Miss: evict LRU (last slot) by shifting.
+	copy(ts[1:], ts[:c.ways-1])
+	ts[0] = tag
+	c.misses++
+	return false
+}
+
+// Contains reports whether addr is resident without touching LRU state
+// or statistics.
+func (c *SetAssoc) Contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	base := int(set) * c.ways
+	tag := line + 1
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the number of hits observed.
+func (c *SetAssoc) Hits() int64 { return c.hits }
+
+// Misses returns the number of misses observed.
+func (c *SetAssoc) Misses() int64 { return c.misses }
+
+// Accesses returns hits+misses.
+func (c *SetAssoc) Accesses() int64 { return c.hits + c.misses }
+
+// Reset invalidates the whole cache and clears statistics.
+func (c *SetAssoc) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// Name returns the label given at construction.
+func (c *SetAssoc) Name() string { return c.name }

@@ -1,0 +1,215 @@
+// Package callstack simulates the pieces of the process runtime the
+// interposition library depends on: modules loaded at ASLR-randomized
+// bases, their symbol tables, call-stack unwinding (glibc backtrace)
+// and call-stack translation back to link-time symbols (binutils).
+//
+// Two properties matter for the reproduction:
+//
+//  1. Raw return addresses differ between the profiling run and the
+//     production run because of ASLR, so the interposer must translate
+//     every unwound stack before matching it against the advisor
+//     report — Section III, Algorithm 1, line 7.
+//  2. Unwinding has a high fixed cost while translation has a higher
+//     per-frame cost, so translation overtakes unwinding for stacks
+//     deeper than ~6 frames (Figure 3). The package both models those
+//     costs in simulated cycles and performs real lookup work whose
+//     wall-clock time the Figure 3 benchmark measures.
+package callstack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// Stack is a call stack of runtime return addresses, innermost frame
+// first (the allocation call site is frame 0).
+type Stack []uint64
+
+// Fingerprint returns a cheap comparable identity for the raw stack,
+// used as the key of the interposer's decision cache (Algorithm 1,
+// lines 5 and 9). Two stacks with equal frames share a fingerprint.
+func (s Stack) Fingerprint() uint64 {
+	// FNV-1a over the frame addresses.
+	h := uint64(1469598103934665603)
+	for _, a := range s {
+		for i := 0; i < 8; i++ {
+			h ^= (a >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Key is a canonical, ASLR-independent call-stack identity:
+// "module!symbol+off" frames joined by ';'. Profiling and production
+// runs of the same binary produce identical Keys for the same source
+// location even though their Stacks differ.
+type Key string
+
+// Depth returns the number of frames encoded in the key.
+func (k Key) Depth() int {
+	if k == "" {
+		return 0
+	}
+	return strings.Count(string(k), ";") + 1
+}
+
+// Symbol is one entry of a module's symbol table.
+type Symbol struct {
+	Name string
+	Addr uint64 // link-time address within the module
+	Size int64
+}
+
+// Module is a loaded executable or shared library.
+type Module struct {
+	Name string
+	Size int64
+	Bias uint64   // runtime load bias (ASLR); runtime = link + bias
+	syms []Symbol // sorted by Addr
+}
+
+// SymbolFor returns the symbol covering the link-time address, if any.
+func (m *Module) SymbolFor(link uint64) (Symbol, bool) {
+	i := sort.Search(len(m.syms), func(i int) bool { return m.syms[i].Addr > link })
+	if i == 0 {
+		return Symbol{}, false
+	}
+	s := m.syms[i-1]
+	if link >= s.Addr+uint64(s.Size) {
+		return Symbol{}, false
+	}
+	return s, true
+}
+
+// NumSymbols returns the symbol-table size (drives translation cost).
+func (m *Module) NumSymbols() int { return len(m.syms) }
+
+// Table is the per-process module map: it knows every loaded module,
+// its ASLR bias for this run, and how to translate runtime addresses.
+type Table struct {
+	modules []*Module // sorted by runtime base (Bias)
+}
+
+// NewTable returns an empty module table.
+func NewTable() *Table { return &Table{} }
+
+// AddModule loads a module with nsyms synthetic symbols and an
+// ASLR bias drawn from rng. Symbol layout (link-time) is deterministic
+// given the name, so two runs of the same binary have identical symbol
+// tables but different biases — exactly the ASLR situation the paper's
+// translation step exists to undo.
+func (t *Table) AddModule(name string, nsyms int, rng *xrand.RNG) *Module {
+	if nsyms < 1 {
+		nsyms = 1
+	}
+	// Deterministic link-time layout seeded by the module name.
+	var seed uint64
+	for _, c := range name {
+		seed = seed*131 + uint64(c)
+	}
+	layout := xrand.New(seed)
+	syms := make([]Symbol, nsyms)
+	addr := uint64(0x1000)
+	for i := range syms {
+		size := int64(64 + layout.Uint64n(2048))
+		syms[i] = Symbol{Name: fmt.Sprintf("%s::fn%04d", strings.TrimSuffix(name, ".so"), i), Addr: addr, Size: size}
+		addr += uint64(size)
+	}
+	// Runtime bias: page-aligned, keeps modules disjoint by spacing
+	// them 1 TiB apart plus a random page offset.
+	bias := (uint64(len(t.modules)+1) << 40) + (rng.Uint64n(1<<20))*uint64(units.PageSize)
+	m := &Module{Name: name, Size: int64(addr), Bias: bias, syms: syms}
+	t.modules = append(t.modules, m)
+	sort.Slice(t.modules, func(i, j int) bool { return t.modules[i].Bias < t.modules[j].Bias })
+	return m
+}
+
+// ModuleFor returns the module containing the runtime address.
+func (t *Table) ModuleFor(runtime uint64) (*Module, bool) {
+	i := sort.Search(len(t.modules), func(i int) bool { return t.modules[i].Bias > runtime })
+	if i == 0 {
+		return nil, false
+	}
+	m := t.modules[i-1]
+	if runtime >= m.Bias+uint64(m.Size) {
+		return nil, false
+	}
+	return m, true
+}
+
+// Runtime converts a module link-time address to its runtime address
+// under this run's ASLR bias.
+func (m *Module) Runtime(link uint64) uint64 { return link + m.Bias }
+
+// Translate resolves every frame of a runtime stack to its canonical
+// "module!symbol+off" form. Frames that resolve nowhere are rendered as
+// raw hex (the "??" of a stripped binary); they still participate in
+// the Key so mismatches fail closed.
+func (t *Table) Translate(s Stack) Key {
+	if len(s) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, addr := range s {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		m, ok := t.ModuleFor(addr)
+		if !ok {
+			fmt.Fprintf(&b, "0x%x", addr)
+			continue
+		}
+		link := addr - m.Bias
+		sym, ok := m.SymbolFor(link)
+		if !ok {
+			fmt.Fprintf(&b, "%s!0x%x", m.Name, link)
+			continue
+		}
+		fmt.Fprintf(&b, "%s!%s+0x%x", m.Name, sym.Name, link-sym.Addr)
+	}
+	return Key(b.String())
+}
+
+// Cost model (Figure 3): microseconds on the Xeon Phi 7250 at 1.40 GHz
+// running glibc 2.17 / binutils 2.23. Unwinding pays a large fixed
+// setup (libunwind context capture) plus a small per-frame walk;
+// translation pays a small setup plus an expensive per-frame symbol
+// search, so it overtakes unwinding beyond ~6 frames.
+const (
+	unwindSetupUS    = 12.0
+	unwindPerFrameUS = 1.5
+	translateSetupUS = 3.0
+	translatePerFrUS = 3.0
+)
+
+func usToCycles(us float64) units.Cycles {
+	return units.Cycles(us * units.DefaultClockHz / 1e6)
+}
+
+// UnwindCost returns the modeled cycles to unwind a stack of depth d.
+func UnwindCost(depth int) units.Cycles {
+	if depth <= 0 {
+		return 0
+	}
+	return usToCycles(unwindSetupUS + unwindPerFrameUS*float64(depth))
+}
+
+// TranslateCost returns the modeled cycles to translate depth frames.
+func TranslateCost(depth int) units.Cycles {
+	if depth <= 0 {
+		return 0
+	}
+	return usToCycles(translateSetupUS + translatePerFrUS*float64(depth))
+}
+
+// CrossoverDepth returns the stack depth beyond which translation
+// costs more than unwinding under the model (6 on the paper's setup).
+func CrossoverDepth() int {
+	d := (unwindSetupUS - translateSetupUS) / (translatePerFrUS - unwindPerFrameUS)
+	return int(d)
+}

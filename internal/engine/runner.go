@@ -1,0 +1,617 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/cache"
+	"repro/internal/callstack"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// MonitorConfig enables Extrae-style instrumentation of a run.
+type MonitorConfig struct {
+	// SamplePeriod is the PEBS decimation (0 = pebs.DefaultPeriod).
+	SamplePeriod uint64
+	// MinAllocSize: allocations below this size are not instrumented
+	// (the paper uses 4 KB to skip I/O-related noise).
+	MinAllocSize int64
+	// CostScale scales the modeled instrumentation costs (unwind,
+	// translate, trace write, PEBS interrupt service). The simulation
+	// compresses run time by ~1000x while keeping the application's
+	// real allocation counts, so charging real-microsecond event costs
+	// against the compressed runtime would inflate the overhead
+	// percentage; the default 0.05 restores Table I's sub-percent to
+	// few-percent range. Set to 1 for unscaled costs.
+	CostScale float64
+}
+
+func (mc *MonitorConfig) costScale() float64 {
+	if mc.CostScale <= 0 {
+		return 0.05
+	}
+	return mc.CostScale
+}
+
+// Config parameterizes one engine run.
+type Config struct {
+	Machine mem.Machine
+	// Cores actually used by the run (0 = all machine cores).
+	Cores int
+	// Seed drives ASLR and access-pattern randomness.
+	Seed uint64
+	// MakePolicy builds the allocation policy (required).
+	MakePolicy PolicyFactory
+	// StaticsInFast moves the static and stack segments wholesale to
+	// MCDRAM, as numactl -p 1 does for non-heap data.
+	StaticsInFast bool
+	// Monitor, when non-nil, records a trace with PEBS samples and
+	// charges monitoring overhead.
+	Monitor *MonitorConfig
+	// RefScale scales every Touch.Refs (0 = 1.0); used to shrink test
+	// runs.
+	RefScale float64
+}
+
+// PhaseStat is the engine's ground-truth record of one phase execution.
+type PhaseStat struct {
+	Routine   string
+	Iteration int // -1 for init phases
+	Start     units.Cycles
+	Duration  units.Cycles
+	Instrs    int64
+	Refs      int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	Workload string
+	Policy   string
+	Cores    int
+
+	Cycles  units.Cycles
+	Seconds float64
+	FOM     float64
+	FOMUnit string
+
+	LLCAccesses int64
+	LLCMisses   int64
+
+	// MCDRAMCacheHits/Misses are populated in cache mode only.
+	MCDRAMCacheHits   int64
+	MCDRAMCacheMisses int64
+
+	// HBWHWM is the MCDRAM heap high-water mark (the Fig. 4 middle
+	// column); TotalHWM adds DDR heap, statics and stack (Table I).
+	HBWHWM   int64
+	DDRHWM   int64
+	TotalHWM int64
+
+	AllocCalls int64
+	FreeCalls  int64
+
+	MonitorOverhead units.Cycles
+	PolicyOverhead  units.Cycles
+	Samples         int64
+
+	// Trace is non-nil for monitored runs.
+	Trace *trace.Trace
+
+	// PhaseStats in execution order (for folding and tests).
+	PhaseStats []PhaseStat
+
+	// ObjectMisses is the engine's ground-truth LLC miss attribution,
+	// used to validate the sampled attribution of Paramedir.
+	ObjectMisses map[string]int64
+
+	// PlacementFailures counts allocations the policy wanted in fast
+	// memory but could not fit.
+	PlacementFailures int64
+}
+
+// MonitorOverheadFraction returns monitoring overhead as a fraction of
+// total run time (Table I's "Monitoring overhead" row).
+func (r *Result) MonitorOverheadFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.MonitorOverhead) / float64(r.Cycles)
+}
+
+type liveObject struct {
+	spec *ObjectSpec
+	addr uint64
+	size int64
+}
+
+type pendingSample struct {
+	accessIdx int64
+	sample    pebs.Sample
+}
+
+type runner struct {
+	w       *Workload
+	cfg     *Config
+	machine mem.Machine
+	cores   int
+	rng     *xrand.RNG
+	prog    *callstack.Program
+	space   *alloc.Space
+	mk      *alloc.Memkind
+	hier    *cache.Hierarchy
+	policy  Policy
+	sampler *pebs.Sampler
+	tr      *trace.Trace
+
+	now     units.Cycles
+	objects map[string]*liveObject
+	result  *Result
+
+	// Per-access context for the LLC miss hook.
+	curObject  string
+	curRoutine string
+
+	// Per-phase sample buffering for retroactive timestamping.
+	phaseSamples []pendingSample
+	phaseRefIdx  int64
+
+	monitorOverhead units.Cycles
+	allocEventCost  units.Cycles
+}
+
+// Run executes workload w under cfg and returns the run result.
+func Run(w *Workload, cfg Config) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MakePolicy == nil {
+		return nil, fmt.Errorf("engine: Config.MakePolicy is required")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = cfg.Machine.Cores
+	}
+	rng := xrand.New(cfg.Seed ^ 0x5eed)
+	prog := callstack.NewProgram(w.Program, rng.Fork(1))
+
+	pt := mem.NewPageTable(mem.TierDDR)
+	space := alloc.NewSpace(pt)
+	mcTier, hasMC := cfg.Machine.Tier(mem.TierMCDRAM)
+	if !hasMC {
+		return nil, fmt.Errorf("engine: machine lacks an MCDRAM tier")
+	}
+
+	r := &runner{
+		w: w, cfg: &cfg, machine: cfg.Machine, cores: cores,
+		rng: rng.Fork(2), prog: prog, space: space,
+		objects: make(map[string]*liveObject),
+		result: &Result{
+			Workload: w.Name, Cores: cores, FOMUnit: w.FOMUnit,
+			ObjectMisses: make(map[string]int64),
+		},
+	}
+
+	// Static/stack segments claim fast capacity before the heaps do
+	// (program load order), so the HBW heap only gets the remainder.
+	fastLeft, err := r.placeStaticsAndStack(mcTier.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	if fastLeft < units.PageSize {
+		fastLeft = units.PageSize
+	}
+	ddrHeap := w.DynamicFootprint()*2 + units.GB
+	mk, err := alloc.NewMemkind(space, ddrHeap, fastLeft)
+	if err != nil {
+		return nil, err
+	}
+	r.mk = mk
+
+	hier, err := cache.NewHierarchy(&r.machine, pt)
+	if err != nil {
+		return nil, err
+	}
+	r.hier = hier
+
+	policy, err := cfg.MakePolicy(mk, prog)
+	if err != nil {
+		return nil, err
+	}
+	r.policy = policy
+	r.result.Policy = policy.Name()
+
+	if cfg.Monitor != nil {
+		r.sampler = pebs.NewSampler(cfg.Monitor.SamplePeriod)
+		r.sampler.PerSampleCost = units.Cycles(float64(r.sampler.PerSampleCost) * cfg.Monitor.costScale())
+		r.tr = trace.New(w.Name)
+		r.tr.Meta["program"] = w.Program
+		r.tr.Meta["period"] = fmt.Sprint(r.sampler.Period())
+		r.tr.Meta["min_alloc"] = fmt.Sprint(cfg.Monitor.MinAllocSize)
+		r.tr.Meta["cores"] = fmt.Sprint(cores)
+	}
+
+	hier.OnLLCMiss = r.onLLCMiss
+
+	if err := r.execute(); err != nil {
+		return nil, err
+	}
+	return r.finish(), nil
+}
+
+// placeStaticsAndStack reserves the non-heap segments and registers
+// their objects at fixed addresses. With StaticsInFast (numactl -p 1),
+// each segment lands on MCDRAM only if it fits in the remaining fast
+// capacity; the return value is the fast capacity left for the HBW
+// heap.
+func (r *runner) placeStaticsAndStack(fastCap int64) (int64, error) {
+	layOut := func(segName string, class StorageClass, extra int64) error {
+		var total int64 = extra
+		for _, o := range r.w.Objects {
+			if o.Class == class {
+				total += units.PageAlign(o.Size)
+			}
+		}
+		if total == 0 {
+			return nil
+		}
+		tier := mem.TierDDR
+		if r.cfg.StaticsInFast && total <= fastCap {
+			tier = mem.TierMCDRAM
+			fastCap -= total
+		}
+		seg, err := r.space.AddSegment(segName, total, tier)
+		if err != nil {
+			return err
+		}
+		next := seg.Base
+		for i := range r.w.Objects {
+			o := &r.w.Objects[i]
+			if o.Class != class {
+				continue
+			}
+			r.objects[o.Name] = &liveObject{spec: o, addr: next, size: o.Size}
+			next += uint64(units.PageAlign(o.Size))
+		}
+		return nil
+	}
+	if err := layOut("statics", Static, r.w.StaticBytes); err != nil {
+		return 0, err
+	}
+	if err := layOut("stack", Stack, r.w.StackBytes); err != nil {
+		return 0, err
+	}
+	return fastCap, nil
+}
+
+func (r *runner) onLLCMiss(addr uint64) {
+	r.result.ObjectMisses[r.curObject]++
+	if r.sampler == nil {
+		return
+	}
+	if s, ok := r.sampler.Observe(addr, r.curRoutine); ok {
+		r.phaseSamples = append(r.phaseSamples, pendingSample{accessIdx: r.phaseRefIdx, sample: s})
+	}
+}
+
+// allocObject allocates a dynamic object through the policy, with
+// instrumentation if monitoring is on.
+func (r *runner) allocObject(o *ObjectSpec) error {
+	stack := r.prog.Site(o.SitePath...)
+	addr, err := r.policy.Malloc(stack, o.Size)
+	if err != nil {
+		return fmt.Errorf("engine: %s: alloc %q: %w", r.w.Name, o.Name, err)
+	}
+	r.objects[o.Name] = &liveObject{spec: o, addr: addr, size: o.Size}
+	r.result.AllocCalls++
+	r.now += baseMallocCycles
+	r.recordAllocEvent(trace.EvAlloc, addr, 0, o.Size, stack)
+	return nil
+}
+
+func (r *runner) recordAllocEvent(ty trace.EventType, addr, aux uint64, size int64, stack callstack.Stack) {
+	if r.tr == nil || size < r.cfg.Monitor.MinAllocSize {
+		return
+	}
+	depth := len(stack)
+	cost := callstack.UnwindCost(depth) + callstack.TranslateCost(depth) + 1400
+	cost = units.Cycles(float64(cost) * r.cfg.Monitor.costScale())
+	r.monitorOverhead += cost
+	r.now += cost
+	r.tr.Append(trace.Record{
+		Time: r.now, Type: ty, Addr: addr, Aux: aux, Size: size,
+		Site: r.prog.Table.Translate(stack),
+	})
+}
+
+func (r *runner) freeObject(o *ObjectSpec) error {
+	lo, ok := r.objects[o.Name]
+	if !ok {
+		return fmt.Errorf("engine: free of unallocated object %q", o.Name)
+	}
+	if err := r.policy.Free(lo.addr); err != nil {
+		return fmt.Errorf("engine: %s: free %q: %w", r.w.Name, o.Name, err)
+	}
+	delete(r.objects, o.Name)
+	r.result.FreeCalls++
+	r.now += baseMallocCycles / 2
+	if r.tr != nil && lo.size >= r.cfg.Monitor.MinAllocSize {
+		r.tr.Append(trace.Record{Time: r.now, Type: trace.EvFree, Addr: lo.addr})
+	}
+	return nil
+}
+
+func (r *runner) execute() error {
+	// Register static objects in the trace by their symbol name. Stack
+	// (automatic) objects are deliberately NOT registered: Extrae does
+	// not support attributing references to automatic variables
+	// (Section III, Step 1), so their samples show up unattributed —
+	// which is why the framework can never learn about SNAP's register
+	// spills while numactl and cache mode still capture them.
+	if r.tr != nil {
+		for _, o := range r.w.Objects {
+			if o.Class != Static {
+				continue
+			}
+			lo := r.objects[o.Name]
+			r.tr.Append(trace.Record{Time: r.now, Type: trace.EvStatic, Addr: lo.addr, Size: lo.size, Routine: o.Name})
+		}
+	}
+
+	// Program-lifetime dynamic allocations (application init).
+	for i := range r.w.Objects {
+		o := &r.w.Objects[i]
+		if o.Class == Dynamic && o.Lifetime == LifetimeProgram {
+			if err := r.allocObject(o); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, ph := range r.w.InitPhases {
+		if err := r.runPhase(&ph, -1); err != nil {
+			return err
+		}
+	}
+
+	reallocIter := r.w.Iterations / 2
+	for it := 0; it < r.w.Iterations; it++ {
+		if r.tr != nil {
+			r.tr.Append(trace.Record{Time: r.now, Type: trace.EvPhaseBegin, Routine: "__iter__", Counter: int64(it)})
+		}
+		// Whole-iteration churn objects.
+		for i := range r.w.Objects {
+			o := &r.w.Objects[i]
+			if o.Class == Dynamic && o.Lifetime == LifetimeIteration && o.ChurnPhase == 0 {
+				if err := r.allocObject(o); err != nil {
+					return err
+				}
+			}
+		}
+		// Mid-run reallocs.
+		if it == reallocIter {
+			if err := r.reallocGrowers(); err != nil {
+				return err
+			}
+		}
+		for p := range r.w.IterPhases {
+			// Phase-scoped churn: allocate just before, free right
+			// after, so temporaries of different phases never coexist.
+			if err := r.eachChurn(p+1, r.allocObject); err != nil {
+				return err
+			}
+			if err := r.runPhase(&r.w.IterPhases[p], it); err != nil {
+				return err
+			}
+			if err := r.eachChurn(p+1, r.freeObject); err != nil {
+				return err
+			}
+		}
+		for i := len(r.w.Objects) - 1; i >= 0; i-- {
+			o := &r.w.Objects[i]
+			if o.Class == Dynamic && o.Lifetime == LifetimeIteration && o.ChurnPhase == 0 {
+				if err := r.freeObject(o); err != nil {
+					return err
+				}
+			}
+		}
+		if r.tr != nil {
+			r.tr.Append(trace.Record{Time: r.now, Type: trace.EvPhaseEnd, Routine: "__iter__", Counter: int64(it)})
+		}
+	}
+
+	// Program-lifetime frees.
+	for i := len(r.w.Objects) - 1; i >= 0; i-- {
+		o := &r.w.Objects[i]
+		if o.Class == Dynamic && o.Lifetime == LifetimeProgram {
+			if err := r.freeObject(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// eachChurn applies f to every churn object scoped to the 1-based
+// phase index.
+func (r *runner) eachChurn(phase int, f func(*ObjectSpec) error) error {
+	for i := range r.w.Objects {
+		o := &r.w.Objects[i]
+		if o.Class == Dynamic && o.Lifetime == LifetimeIteration && o.ChurnPhase == phase {
+			if err := f(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *runner) reallocGrowers() error {
+	for i := range r.w.Objects {
+		o := &r.w.Objects[i]
+		if o.ReallocTo == 0 {
+			continue
+		}
+		lo, ok := r.objects[o.Name]
+		if !ok {
+			continue
+		}
+		stack := r.prog.Site(o.SitePath...)
+		na, err := r.policy.Realloc(stack, lo.addr, o.ReallocTo)
+		if err != nil {
+			return fmt.Errorf("engine: %s: realloc %q: %w", r.w.Name, o.Name, err)
+		}
+		r.recordAllocEvent(trace.EvRealloc, na, lo.addr, o.ReallocTo, stack)
+		lo.addr, lo.size = na, o.ReallocTo
+		r.result.AllocCalls++
+		r.now += baseMallocCycles
+	}
+	return nil
+}
+
+// runPhase streams the phase's touches through the hierarchy and
+// accounts its time.
+func (r *runner) runPhase(ph *Phase, iter int) error {
+	phaseStart := r.now
+	r.curRoutine = ph.Routine
+	r.phaseSamples = r.phaseSamples[:0]
+	r.phaseRefIdx = 0
+
+	scale := r.cfg.RefScale
+	if scale <= 0 {
+		scale = 1
+	}
+	var totalRefs int64
+	for t := range ph.Touches {
+		tc := &ph.Touches[t]
+		lo, ok := r.objects[tc.Object]
+		if !ok {
+			return fmt.Errorf("engine: phase %s touches dead object %q", ph.Routine, tc.Object)
+		}
+		refs := int64(float64(tc.Refs) * scale)
+		if refs <= 0 {
+			continue
+		}
+		r.curObject = tc.Object
+		r.generateAccesses(tc, lo, refs)
+		totalRefs += refs
+	}
+
+	instrs := ph.Instructions + totalRefs
+	computeCycles := cyclesForInstructions(instrs, r.cores)
+	memCycles := r.hier.DrainPhase(r.cores)
+	dur := computeCycles + memCycles
+	if dur <= 0 {
+		dur = 1
+	}
+
+	// Retroactively timestamp this phase's samples and spread the
+	// phase's instructions across them (MIPS signal).
+	if r.tr != nil && len(r.phaseSamples) > 0 {
+		var prevIdx int64
+		for _, ps := range r.phaseSamples {
+			frac := float64(ps.accessIdx) / float64(totalRefs+1)
+			gap := ps.accessIdx - prevIdx
+			prevIdx = ps.accessIdx
+			r.tr.Append(trace.Record{
+				Time:    phaseStart + units.Cycles(frac*float64(dur)),
+				Type:    trace.EvSample,
+				Addr:    ps.sample.Addr,
+				Routine: ps.sample.Routine,
+				Counter: instrs * gap / (totalRefs + 1),
+			})
+		}
+	}
+
+	if r.tr != nil {
+		r.tr.Append(trace.Record{Time: phaseStart, Type: trace.EvPhaseBegin, Routine: ph.Routine, Counter: int64(iter)})
+		r.tr.Append(trace.Record{Time: phaseStart + dur, Type: trace.EvPhaseEnd, Routine: ph.Routine, Counter: int64(iter)})
+	}
+	r.result.PhaseStats = append(r.result.PhaseStats, PhaseStat{
+		Routine: ph.Routine, Iteration: iter, Start: phaseStart,
+		Duration: dur, Instrs: instrs, Refs: totalRefs,
+	})
+	r.now = phaseStart + dur
+	return nil
+}
+
+// generateAccesses issues refs references against the live object
+// following the touch's pattern.
+func (r *runner) generateAccesses(tc *Touch, lo *liveObject, refs int64) {
+	span := lo.size
+	if tc.HotFraction > 0 && tc.HotFraction < 1 {
+		span = int64(float64(lo.size) * tc.HotFraction)
+	}
+	if span < 64 {
+		span = 64
+	}
+	base := lo.addr
+	switch tc.Pattern {
+	case Sequential:
+		// Sequential models streaming the WHOLE object once per phase
+		// execution; the simulation samples refs references evenly
+		// across it, so the touched page footprint matches the object
+		// size (what cache mode and numactl compete over) while the
+		// access count stays scaled.
+		stride := (span / refs) &^ 63
+		if stride < 64 {
+			stride = 64
+		}
+		for i := int64(0); i < refs; i++ {
+			r.hier.Access(base + uint64((i*stride)%span))
+			r.phaseRefIdx++
+		}
+	case Strided:
+		stride := tc.Stride
+		if stride <= 0 {
+			stride = 256
+		}
+		for i := int64(0); i < refs; i++ {
+			r.hier.Access(base + uint64((i*stride)%span))
+			r.phaseRefIdx++
+		}
+	case GatherRandom, PointerChase:
+		uspan := uint64(span)
+		for i := int64(0); i < refs; i++ {
+			r.hier.Access(base + (r.rng.Uint64n(uspan) &^ 7))
+			r.phaseRefIdx++
+		}
+	}
+}
+
+func (r *runner) finish() *Result {
+	res := r.result
+	res.PolicyOverhead = r.policy.OverheadCycles()
+	r.now += res.PolicyOverhead
+	if r.sampler != nil {
+		r.monitorOverhead += r.sampler.OverheadCycles()
+		r.now += r.sampler.OverheadCycles()
+		res.Samples = r.sampler.Emitted()
+	}
+	res.MonitorOverhead = r.monitorOverhead
+	res.Cycles = r.now
+	res.Seconds = r.now.Seconds(r.machine.ClockHz)
+	res.FOM = r.w.FOM(res.Seconds)
+	res.LLCAccesses = r.hier.LLCAccesses()
+	res.LLCMisses = r.hier.LLCMisses()
+	if mc := r.hier.MCDRAMCache(); mc != nil {
+		res.MCDRAMCacheHits = mc.Hits()
+		res.MCDRAMCacheMisses = mc.Misses()
+	}
+	res.HBWHWM = r.mk.Arena(alloc.KindHBW).HWM()
+	res.DDRHWM = r.mk.Arena(alloc.KindDefault).HWM()
+	res.TotalHWM = res.DDRHWM + res.HBWHWM + r.w.StaticFootprint() + r.w.StackFootprint()
+	res.PlacementFailures = r.mk.Arena(alloc.KindHBW).Failures()
+	if r.tr != nil {
+		r.tr.Meta["samples"] = fmt.Sprint(res.Samples)
+		r.tr.SortByTime()
+		res.Trace = r.tr
+	}
+	return res
+}

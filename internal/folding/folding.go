@@ -1,0 +1,272 @@
+// Package folding implements the Folding technique referenced by the
+// paper (Servat et al., Euro-Par 2015): it projects the sparse PEBS
+// samples collected across MANY iterations of an application's main
+// loop onto ONE canonical iteration, recovering a detailed performance
+// evolution — the MIPS curve, the routine timeline and the referenced
+// address scatter of Figure 5 — from data far too sparse to describe
+// any single iteration.
+package folding
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// IterationMarker is the routine name the engine emits around each
+// main-loop iteration.
+const IterationMarker = "__iter__"
+
+// Bin is one time slot of the folded iteration.
+type Bin struct {
+	// StartFrac..EndFrac position the bin within the iteration [0,1).
+	StartFrac, EndFrac float64
+	// Samples folded into the bin.
+	Samples int
+	// Instrs folded into the bin.
+	Instrs int64
+	// MIPS is the folded instruction rate over the bin.
+	MIPS float64
+}
+
+// Span is a routine band in the folded timeline.
+type Span struct {
+	Routine            string
+	StartFrac, EndFrac float64 // mean relative position
+}
+
+// AddrPoint is one folded sample's address scatter point.
+type AddrPoint struct {
+	Frac    float64
+	Addr    uint64
+	Routine string
+}
+
+// Folded is the result of folding a trace.
+type Folded struct {
+	App        string
+	Iterations int
+	// MeanIterationCycles is the canonical iteration duration.
+	MeanIterationCycles units.Cycles
+	Bins                []Bin
+	Spans               []Span
+	Points              []AddrPoint
+}
+
+// MinMIPSIn returns the lowest and highest bin MIPS whose bin midpoint
+// falls inside the given routine span; ok is false when the routine is
+// absent or no bin overlaps it.
+func (f *Folded) MinMIPSIn(routine string) (minM, maxM float64, ok bool) {
+	var span *Span
+	for i := range f.Spans {
+		if f.Spans[i].Routine == routine {
+			span = &f.Spans[i]
+			break
+		}
+	}
+	if span == nil {
+		return 0, 0, false
+	}
+	first := true
+	for _, b := range f.Bins {
+		mid := (b.StartFrac + b.EndFrac) / 2
+		if mid < span.StartFrac || mid >= span.EndFrac {
+			continue
+		}
+		if first {
+			minM, maxM, first = b.MIPS, b.MIPS, false
+			continue
+		}
+		if b.MIPS < minM {
+			minM = b.MIPS
+		}
+		if b.MIPS > maxM {
+			maxM = b.MIPS
+		}
+	}
+	return minM, maxM, !first
+}
+
+// GlobalMaxMIPS returns the highest bin MIPS.
+func (f *Folded) GlobalMaxMIPS() float64 {
+	best := 0.0
+	for _, b := range f.Bins {
+		if b.MIPS > best {
+			best = b.MIPS
+		}
+	}
+	return best
+}
+
+type iterWindow struct {
+	start, end units.Cycles
+}
+
+// interpolateEmptyBins reconstructs a continuous MIPS curve: bins that
+// caught no sample take the linear interpolation of their nearest
+// sampled neighbours (edge bins take the nearest value). Folding is a
+// curve-fitting technique — sparse samples are the point — so gaps are
+// filled rather than reported as zero.
+func interpolateEmptyBins(bins []Bin) {
+	n := len(bins)
+	prev := -1
+	for i := 0; i < n; i++ {
+		if bins[i].Samples == 0 {
+			continue
+		}
+		if prev == -1 {
+			// Leading gap: extend the first sampled value backwards.
+			for j := 0; j < i; j++ {
+				bins[j].MIPS = bins[i].MIPS
+			}
+		} else {
+			for j := prev + 1; j < i; j++ {
+				t := float64(j-prev) / float64(i-prev)
+				bins[j].MIPS = bins[prev].MIPS*(1-t) + bins[i].MIPS*t
+			}
+		}
+		prev = i
+	}
+	if prev >= 0 {
+		for j := prev + 1; j < n; j++ {
+			bins[j].MIPS = bins[prev].MIPS
+		}
+	}
+}
+
+// Fold reduces the trace to a folded iteration profile with the given
+// number of bins. clockHz converts cycles to seconds for MIPS.
+func Fold(tr *trace.Trace, bins int, clockHz float64) (*Folded, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("folding: nil trace")
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("folding: bins must be positive, got %d", bins)
+	}
+	if clockHz <= 0 {
+		return nil, fmt.Errorf("folding: clock must be positive")
+	}
+
+	// Locate iteration windows.
+	var iters []iterWindow
+	var open *units.Cycles
+	for _, rec := range tr.Records {
+		if rec.Routine != IterationMarker {
+			continue
+		}
+		switch rec.Type {
+		case trace.EvPhaseBegin:
+			t := rec.Time
+			open = &t
+		case trace.EvPhaseEnd:
+			if open == nil {
+				return nil, fmt.Errorf("folding: iteration end without begin at t=%d", rec.Time)
+			}
+			if rec.Time > *open {
+				iters = append(iters, iterWindow{start: *open, end: rec.Time})
+			}
+			open = nil
+		}
+	}
+	if len(iters) == 0 {
+		return nil, fmt.Errorf("folding: trace has no %s phase markers", IterationMarker)
+	}
+
+	f := &Folded{App: tr.App, Iterations: len(iters)}
+	var total units.Cycles
+	for _, iw := range iters {
+		total += iw.end - iw.start
+	}
+	f.MeanIterationCycles = total / units.Cycles(len(iters))
+
+	locate := func(t units.Cycles) (float64, bool) {
+		i := sort.Search(len(iters), func(i int) bool { return iters[i].end > t })
+		if i >= len(iters) || t < iters[i].start {
+			return 0, false
+		}
+		iw := iters[i]
+		return float64(t-iw.start) / float64(iw.end-iw.start), true
+	}
+
+	// Fold samples into bins and the address scatter.
+	f.Bins = make([]Bin, bins)
+	for i := range f.Bins {
+		f.Bins[i].StartFrac = float64(i) / float64(bins)
+		f.Bins[i].EndFrac = float64(i+1) / float64(bins)
+	}
+	for _, rec := range tr.Records {
+		if rec.Type != trace.EvSample {
+			continue
+		}
+		frac, ok := locate(rec.Time)
+		if !ok {
+			continue // init-phase samples are outside the fold
+		}
+		b := int(frac * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		f.Bins[b].Samples++
+		f.Bins[b].Instrs += rec.Counter
+		f.Points = append(f.Points, AddrPoint{Frac: frac, Addr: rec.Addr, Routine: rec.Routine})
+	}
+	binSeconds := f.MeanIterationCycles.Seconds(clockHz) / float64(bins)
+	for i := range f.Bins {
+		if binSeconds > 0 {
+			// Instrs folded from N iterations over N*binSeconds.
+			f.Bins[i].MIPS = float64(f.Bins[i].Instrs) / (binSeconds * float64(f.Iterations)) / 1e6
+		}
+	}
+	interpolateEmptyBins(f.Bins)
+
+	// Routine spans: average the relative begin/end of each routine's
+	// first execution per iteration.
+	type acc struct {
+		startSum, endSum float64
+		n                int
+		order            int
+	}
+	accs := map[string]*acc{}
+	openT := map[string]units.Cycles{}
+	order := 0
+	for _, rec := range tr.Records {
+		if rec.Routine == IterationMarker || rec.Routine == "" {
+			continue
+		}
+		switch rec.Type {
+		case trace.EvPhaseBegin:
+			openT[rec.Routine] = rec.Time
+		case trace.EvPhaseEnd:
+			st, ok := openT[rec.Routine]
+			if !ok {
+				continue
+			}
+			delete(openT, rec.Routine)
+			sf, ok1 := locate(st)
+			ef, ok2 := locate(rec.Time - 1)
+			if !ok1 || !ok2 {
+				continue
+			}
+			a := accs[rec.Routine]
+			if a == nil {
+				a = &acc{order: order}
+				order++
+				accs[rec.Routine] = a
+			}
+			a.startSum += sf
+			a.endSum += ef
+			a.n++
+		}
+	}
+	for name, a := range accs {
+		f.Spans = append(f.Spans, Span{
+			Routine:   name,
+			StartFrac: a.startSum / float64(a.n),
+			EndFrac:   a.endSum / float64(a.n),
+		})
+	}
+	sort.Slice(f.Spans, func(i, j int) bool { return f.Spans[i].StartFrac < f.Spans[j].StartFrac })
+	return f, nil
+}

@@ -1,0 +1,154 @@
+package folding
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// mkTrace builds a trace with iters iterations, each containing two
+// phases: "fast" (first half, dense instructions) and "slow" (second
+// half, sparse instructions), with samples scattered through both.
+func mkTrace(iters int) *trace.Trace {
+	tr := trace.New("snap")
+	var t units.Cycles
+	const iterLen = 1000
+	for i := 0; i < iters; i++ {
+		tr.Append(trace.Record{Time: t, Type: trace.EvPhaseBegin, Routine: IterationMarker, Counter: int64(i)})
+		tr.Append(trace.Record{Time: t, Type: trace.EvPhaseBegin, Routine: "fast"})
+		// Dense instructions in the first half.
+		for k := 0; k < 5; k++ {
+			tr.Append(trace.Record{
+				Time: t + units.Cycles(50+k*80), Type: trace.EvSample,
+				Addr: 0x1000 + uint64(k), Routine: "fast", Counter: 10000,
+			})
+		}
+		tr.Append(trace.Record{Time: t + 500, Type: trace.EvPhaseEnd, Routine: "fast"})
+		tr.Append(trace.Record{Time: t + 500, Type: trace.EvPhaseBegin, Routine: "slow"})
+		for k := 0; k < 5; k++ {
+			tr.Append(trace.Record{
+				Time: t + units.Cycles(550+k*80), Type: trace.EvSample,
+				Addr: 0x9000 + uint64(k), Routine: "slow", Counter: 1000,
+			})
+		}
+		tr.Append(trace.Record{Time: t + iterLen, Type: trace.EvPhaseEnd, Routine: "slow"})
+		tr.Append(trace.Record{Time: t + iterLen, Type: trace.EvPhaseEnd, Routine: IterationMarker, Counter: int64(i)})
+		t += iterLen
+	}
+	return tr
+}
+
+func TestFoldBasics(t *testing.T) {
+	f, err := Fold(mkTrace(10), 10, units.DefaultClockHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Iterations != 10 {
+		t.Fatalf("iterations = %d, want 10", f.Iterations)
+	}
+	if f.MeanIterationCycles != 1000 {
+		t.Fatalf("mean iteration = %d, want 1000", f.MeanIterationCycles)
+	}
+	if len(f.Points) != 100 {
+		t.Fatalf("points = %d, want 100 samples folded", len(f.Points))
+	}
+	var total int
+	for _, b := range f.Bins {
+		total += b.Samples
+	}
+	if total != 100 {
+		t.Fatalf("binned samples = %d, want 100", total)
+	}
+}
+
+func TestFoldMIPSContrast(t *testing.T) {
+	f, err := Fold(mkTrace(20), 10, units.DefaultClockHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "slow" routine's bins must show clearly lower MIPS than the
+	// "fast" routine's — the Figure 5 signature.
+	minFast, _, ok := f.MinMIPSIn("fast")
+	if !ok {
+		t.Fatal("fast routine not found in folded spans")
+	}
+	_, maxSlow, ok := f.MinMIPSIn("slow")
+	if !ok {
+		t.Fatal("slow routine not found in folded spans")
+	}
+	if maxSlow >= minFast {
+		t.Fatalf("slow max MIPS (%v) not below fast min MIPS (%v)", maxSlow, minFast)
+	}
+	if f.GlobalMaxMIPS() < minFast {
+		t.Fatal("global max below fast-phase minimum")
+	}
+}
+
+func TestFoldSpans(t *testing.T) {
+	f, err := Fold(mkTrace(5), 10, units.DefaultClockHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Spans) != 2 {
+		t.Fatalf("spans = %+v, want 2 routines", f.Spans)
+	}
+	if f.Spans[0].Routine != "fast" || f.Spans[1].Routine != "slow" {
+		t.Fatalf("span order = %+v", f.Spans)
+	}
+	if f.Spans[0].EndFrac > 0.55 || f.Spans[1].StartFrac < 0.45 {
+		t.Fatalf("span positions wrong: %+v", f.Spans)
+	}
+}
+
+func TestFoldAddressSeparation(t *testing.T) {
+	f, _ := Fold(mkTrace(5), 10, units.DefaultClockHz)
+	for _, p := range f.Points {
+		if p.Frac < 0.5 && p.Addr >= 0x9000 {
+			t.Fatalf("slow-phase address %#x folded into first half", p.Addr)
+		}
+		if p.Frac > 0.55 && p.Addr < 0x9000 {
+			t.Fatalf("fast-phase address %#x folded into second half", p.Addr)
+		}
+	}
+}
+
+func TestFoldErrors(t *testing.T) {
+	if _, err := Fold(nil, 10, 1e9); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := Fold(trace.New("x"), 10, 1e9); err == nil {
+		t.Fatal("trace without iteration markers accepted")
+	}
+	if _, err := Fold(mkTrace(1), 0, 1e9); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, err := Fold(mkTrace(1), 10, 0); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+	bad := trace.New("x")
+	bad.Append(trace.Record{Time: 5, Type: trace.EvPhaseEnd, Routine: IterationMarker})
+	if _, err := Fold(bad, 10, 1e9); err == nil {
+		t.Fatal("unbalanced iteration markers accepted")
+	}
+}
+
+func TestFoldIgnoresOutOfIterationSamples(t *testing.T) {
+	tr := mkTrace(2)
+	// A sample far after the last iteration.
+	tr.Append(trace.Record{Time: 99999, Type: trace.EvSample, Addr: 1, Counter: 5})
+	f, err := Fold(tr, 10, units.DefaultClockHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 20 {
+		t.Fatalf("points = %d, want 20 (outlier dropped)", len(f.Points))
+	}
+}
+
+func TestMinMIPSInUnknownRoutine(t *testing.T) {
+	f, _ := Fold(mkTrace(2), 10, units.DefaultClockHz)
+	if _, _, ok := f.MinMIPSIn("nope"); ok {
+		t.Fatal("unknown routine reported ok")
+	}
+}

@@ -1,0 +1,335 @@
+// Package interpose implements auto-hbwmalloc: the LD_PRELOAD-style
+// interposition library that is the run-time half of the framework
+// (Section III, Step 4, Algorithm 1). Every dynamic allocation of the
+// application is intercepted; if its size passes the advisor's lb/ub
+// pre-filter, its call stack is unwound, looked up in a decision cache
+// and — on a cache miss — ASLR-translated and matched against the
+// advisor report. Matching allocations are forwarded to the
+// high-bandwidth allocator as long as they fit in the advisor-given
+// budget; everything else falls back to the default allocator.
+//
+// The library keeps the bookkeeping the paper enumerates: which
+// allocations each allocator owns (so frees are routed correctly), how
+// much alternate space is in use (so the budget is never exceeded even
+// when the advisor under-estimated loop allocations), and execution
+// statistics (allocation counts, average size, high-water mark, and
+// whether anything did not fit).
+package interpose
+
+import (
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/alloc"
+	"repro/internal/callstack"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+// Options tune the library; zero values give the paper's defaults.
+type Options struct {
+	// DisableSizeFilter bypasses the lb/ub pre-check (ablation).
+	DisableSizeFilter bool
+	// DisableCache bypasses the decision cache so every allocation
+	// pays translation (ablation).
+	DisableCache bool
+	// BudgetOverride replaces the report's budget when positive. The
+	// paper uses this for Lulesh: advise for 512 MB but enforce 256 MB.
+	BudgetOverride int64
+}
+
+// Stats are the metrics auto-hbwmalloc captures "upon user request".
+type Stats struct {
+	Allocations    int64 // total mallocs seen
+	HBWAllocations int64 // routed to fast memory
+	BytesRequested int64
+	HBWBytes       int64
+	HWM            int64 // fast-memory high-water mark (library view)
+	NotFit         int64 // matched but rejected by budget/OOM
+	CacheHits      int64
+	CacheMisses    int64
+	Partitioned    int64 // allocations placed by critical sub-range
+	Unwinds        int64
+	Translates     int64
+	SizeFiltered   int64 // skipped by the lb/ub pre-filter
+}
+
+// AvgAllocSize returns the mean requested allocation size.
+func (s *Stats) AvgAllocSize() int64 {
+	if s.Allocations == 0 {
+		return 0
+	}
+	return s.BytesRequested / s.Allocations
+}
+
+// Library is one loaded instance of auto-hbwmalloc.
+type Library struct {
+	mk   *alloc.Memkind
+	prog *callstack.Program
+	opts Options
+
+	selected   map[callstack.Key]bool
+	partitions map[callstack.Key]advisor.Entry
+	lb, ub     int64
+	budget     int64
+
+	used  int64            // live fast-memory bytes allocated by us
+	owned map[uint64]int64 // addr -> aligned size, fast allocations
+	// parts tracks partition-placed allocations: addr -> bound range.
+	parts    map[uint64]partRange
+	decision map[uint64]promoteKind // stack fingerprint -> decision
+
+	stats    Stats
+	overhead units.Cycles
+}
+
+// New builds the library from an advisor report.
+func New(mk *alloc.Memkind, prog *callstack.Program, rep *advisor.Report, opts Options) (*Library, error) {
+	if mk == nil || prog == nil || rep == nil {
+		return nil, fmt.Errorf("interpose: nil memkind, program or report")
+	}
+	budget := rep.Budget
+	if opts.BudgetOverride > 0 {
+		budget = opts.BudgetOverride
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("interpose: non-positive budget %d", budget)
+	}
+	return &Library{
+		mk: mk, prog: prog, opts: opts,
+		selected:   rep.SelectedSites(),
+		partitions: keyedPartitions(rep),
+		lb:         rep.LBSize, ub: rep.UBSize,
+		budget:   budget,
+		owned:    make(map[uint64]int64),
+		parts:    make(map[uint64]partRange),
+		decision: make(map[uint64]promoteKind),
+	}, nil
+}
+
+// promoteKind is the cached per-site decision.
+type promoteKind uint8
+
+const (
+	promoteNo promoteKind = iota
+	promoteWhole
+	promotePartition
+)
+
+// partRange is the fast-bound sub-range of a partitioned allocation.
+type partRange struct {
+	offset, size int64
+}
+
+func keyedPartitions(rep *advisor.Report) map[callstack.Key]advisor.Entry {
+	out := make(map[callstack.Key]advisor.Entry)
+	for site, e := range rep.Partitions() {
+		out[callstack.Key(site)] = e
+	}
+	return out
+}
+
+// Factory adapts the library to the engine's policy plug.
+func Factory(rep *advisor.Report, opts Options) engine.PolicyFactory {
+	return func(mk *alloc.Memkind, prog *callstack.Program) (engine.Policy, error) {
+		return New(mk, prog, rep, opts)
+	}
+}
+
+// Name implements engine.Policy.
+func (l *Library) Name() string { return "framework" }
+
+// Malloc implements Algorithm 1 of the paper.
+func (l *Library) Malloc(stack callstack.Stack, size int64) (uint64, error) {
+	l.stats.Allocations++
+	l.stats.BytesRequested += size
+
+	switch l.classify(stack, size) {
+	case promoteWhole:
+		if addr, ok := l.tryHBW(size); ok {
+			return addr, nil
+		}
+	case promotePartition:
+		if addr, ok := l.tryPartition(stack, size); ok {
+			return addr, nil
+		}
+	}
+	return l.mk.Malloc(alloc.KindDefault, size)
+}
+
+// classify runs the size gate, decision cache and translation match
+// of Algorithm 1 (lines 3–11), charging the modeled costs. It returns
+// whether the site is selected for whole-object promotion, partitioned
+// promotion, or not at all.
+func (l *Library) classify(stack callstack.Stack, size int64) promoteKind {
+	if len(l.selected) == 0 && len(l.partitions) == 0 {
+		return promoteNo
+	}
+	if !l.opts.DisableSizeFilter && l.ub > 0 {
+		if size < l.lb || size > l.ub {
+			l.stats.SizeFiltered++
+			return promoteNo
+		}
+	}
+	// Unwind the call stack (always needed past the size gate).
+	l.stats.Unwinds++
+	l.overhead += callstack.UnwindCost(len(stack))
+
+	if !l.opts.DisableCache {
+		if k, found := l.decision[stack.Fingerprint()]; found {
+			l.stats.CacheHits++
+			return k
+		}
+		l.stats.CacheMisses++
+	}
+	// Translate (binutils) and match against the report.
+	l.stats.Translates++
+	l.overhead += callstack.TranslateCost(len(stack))
+	key := l.prog.Table.Translate(stack)
+	k := promoteNo
+	switch {
+	case l.selected[key]:
+		k = promoteWhole
+	default:
+		if _, ok := l.partitions[key]; ok {
+			k = promotePartition
+		}
+	}
+	if !l.opts.DisableCache {
+		l.decision[stack.Fingerprint()] = k
+	}
+	return k
+}
+
+// tryPartition allocates the object on the default heap and binds its
+// critical sub-range to fast memory (simulated mbind), charging the
+// bound bytes to the budget.
+func (l *Library) tryPartition(stack callstack.Stack, size int64) (uint64, bool) {
+	e, ok := l.partitions[l.prog.Table.Translate(stack)]
+	if !ok {
+		return 0, false
+	}
+	off, psz := e.PartOffset, e.PartSize
+	if off >= size {
+		return 0, false
+	}
+	if off+psz > size {
+		psz = size - off
+	}
+	if l.used+psz > l.budget {
+		l.stats.NotFit++
+		return 0, false
+	}
+	addr, err := l.mk.Malloc(alloc.KindDefault, size)
+	if err != nil {
+		return 0, false
+	}
+	l.mk.BindPages(addr, off, psz, mem.TierMCDRAM)
+	l.parts[addr] = partRange{offset: off, size: psz}
+	l.used += psz
+	if l.used > l.stats.HWM {
+		l.stats.HWM = l.used
+	}
+	l.overhead += alloc.HBWAllocPenalty(psz)
+	l.stats.HBWAllocations++
+	l.stats.HBWBytes += psz
+	l.stats.Partitioned++
+	return addr, true
+}
+
+// tryHBW attempts the fast-memory allocation under the budget.
+func (l *Library) tryHBW(size int64) (uint64, bool) {
+	if l.used+size > l.budget {
+		l.stats.NotFit++
+		return 0, false
+	}
+	addr, err := l.mk.Malloc(alloc.KindHBW, size)
+	if err != nil {
+		l.stats.NotFit++
+		return 0, false
+	}
+	l.overhead += alloc.HBWAllocPenalty(size)
+	aligned, _ := l.mk.Arena(alloc.KindHBW).SizeOf(addr)
+	l.owned[addr] = aligned
+	l.used += aligned
+	if l.used > l.stats.HWM {
+		l.stats.HWM = l.used
+	}
+	l.stats.HBWAllocations++
+	l.stats.HBWBytes += size
+	return addr, true
+}
+
+// Free implements engine.Policy, routing to the owning allocator and
+// unbinding partitioned sub-ranges.
+func (l *Library) Free(addr uint64) error {
+	if sz, ok := l.owned[addr]; ok {
+		delete(l.owned, addr)
+		l.used -= sz
+	}
+	if pr, ok := l.parts[addr]; ok {
+		l.mk.BindPages(addr, pr.offset, pr.size, mem.TierDDR)
+		delete(l.parts, addr)
+		l.used -= pr.size
+	}
+	return l.mk.Free(addr)
+}
+
+// Realloc implements engine.Policy. A matched site growing beyond the
+// budget falls back to DDR, releasing its fast-memory footprint.
+func (l *Library) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64, error) {
+	if addr == 0 {
+		return l.Malloc(stack, size)
+	}
+	if pr, ok := l.parts[addr]; ok {
+		// Partitioned allocations are demoted on realloc: the hot
+		// range was computed for the old layout (see DESIGN.md).
+		l.mk.BindPages(addr, pr.offset, pr.size, mem.TierDDR)
+		delete(l.parts, addr)
+		l.used -= pr.size
+		return l.mk.Realloc(addr, size)
+	}
+	oldSize, wasOurs := l.owned[addr]
+	if !wasOurs {
+		return l.mk.Realloc(addr, size)
+	}
+	// Fast-memory resident: stay fast if the budget allows.
+	if l.used-oldSize+size <= l.budget {
+		na, err := l.mk.Realloc(addr, size)
+		if err == nil {
+			delete(l.owned, addr)
+			l.used -= oldSize
+			aligned, _ := l.mk.Arena(alloc.KindHBW).SizeOf(na)
+			l.owned[na] = aligned
+			l.used += aligned
+			if l.used > l.stats.HWM {
+				l.stats.HWM = l.used
+			}
+			l.overhead += alloc.HBWAllocPenalty(size)
+			return na, nil
+		}
+	}
+	// Demote to DDR.
+	l.stats.NotFit++
+	na, err := l.mk.Malloc(alloc.KindDefault, size)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Free(addr); err != nil {
+		return 0, err
+	}
+	return na, nil
+}
+
+// OverheadCycles implements engine.Policy.
+func (l *Library) OverheadCycles() units.Cycles { return l.overhead }
+
+// Stats returns a snapshot of the library's statistics.
+func (l *Library) Stats() Stats { return l.stats }
+
+// Used returns the live fast-memory bytes owned by the library.
+func (l *Library) Used() int64 { return l.used }
+
+// Budget returns the enforced fast-memory budget.
+func (l *Library) Budget() int64 { return l.budget }

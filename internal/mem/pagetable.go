@@ -1,0 +1,167 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// PageTable maps simulated virtual pages to memory tiers. The default
+// tier (DDR) is implicit: only pages explicitly placed elsewhere are
+// stored, so the table stays small even for multi-gigabyte address
+// spaces. Placement granularity is units.PageSize, matching the page
+// granularity at which hmem_advisor packs its knapsacks.
+//
+// Two mapping layers exist: coarse ranges (whole heap/static/stack
+// segments, possibly gigabytes) and per-page overrides. Lookups check
+// pages first, then coarse ranges, then the default tier.
+type PageTable struct {
+	def    TierID
+	pages  map[uint64]TierID
+	coarse []coarseRange // sorted by start, non-overlapping
+}
+
+type coarseRange struct {
+	start, end uint64 // [start, end)
+	tier       TierID
+}
+
+// NewPageTable returns a table whose unmapped pages live on def.
+func NewPageTable(def TierID) *PageTable {
+	return &PageTable{def: def, pages: make(map[uint64]TierID)}
+}
+
+// SetCoarseRange binds the whole [addr, addr+size) range to tier with a
+// single entry — used for segments, where a per-page map would be
+// millions of entries. Re-binding an identical range replaces its tier;
+// other overlaps are rejected to keep the structure simple.
+func (pt *PageTable) SetCoarseRange(addr uint64, size int64, tier TierID) error {
+	if size <= 0 {
+		return fmt.Errorf("mem: coarse range size must be positive, got %d", size)
+	}
+	end := addr + uint64(size)
+	for i := range pt.coarse {
+		c := &pt.coarse[i]
+		if addr == c.start && end == c.end {
+			c.tier = tier
+			return nil
+		}
+		if addr < c.end && c.start < end {
+			return fmt.Errorf("mem: coarse range [%#x,%#x) overlaps [%#x,%#x)", addr, end, c.start, c.end)
+		}
+	}
+	pt.coarse = append(pt.coarse, coarseRange{start: addr, end: end, tier: tier})
+	sort.Slice(pt.coarse, func(i, j int) bool { return pt.coarse[i].start < pt.coarse[j].start })
+	return nil
+}
+
+func (pt *PageTable) coarseTier(addr uint64) (TierID, bool) {
+	i := sort.Search(len(pt.coarse), func(i int) bool { return pt.coarse[i].end > addr })
+	if i < len(pt.coarse) && addr >= pt.coarse[i].start {
+		return pt.coarse[i].tier, true
+	}
+	return 0, false
+}
+
+// DefaultTier returns the tier of all unplaced pages.
+func (pt *PageTable) DefaultTier() TierID { return pt.def }
+
+func pageOf(addr uint64) uint64 { return addr / uint64(units.PageSize) }
+
+// SetRange places [addr, addr+size) on tier, page by page. Partial
+// pages are placed whole, as real page tables must. For gigabyte-scale
+// segment bindings use SetCoarseRange instead.
+func (pt *PageTable) SetRange(addr uint64, size int64, tier TierID) {
+	if size <= 0 {
+		return
+	}
+	first := pageOf(addr)
+	last := pageOf(addr + uint64(size) - 1)
+	for p := first; p <= last; p++ {
+		if tier == pt.def {
+			if _, coarse := pt.coarseTier(p * uint64(units.PageSize)); coarse {
+				// A page override back to default must shadow a coarse
+				// range, so it stays in the map.
+				pt.pages[p] = tier
+				continue
+			}
+			delete(pt.pages, p)
+		} else {
+			pt.pages[p] = tier
+		}
+	}
+}
+
+// ClearRange resets [addr, addr+size) to the default tier.
+func (pt *PageTable) ClearRange(addr uint64, size int64) {
+	pt.SetRange(addr, size, pt.def)
+}
+
+// TierOf returns the tier holding addr.
+func (pt *PageTable) TierOf(addr uint64) TierID {
+	if t, ok := pt.pages[pageOf(addr)]; ok {
+		return t
+	}
+	if t, ok := pt.coarseTier(addr); ok {
+		return t
+	}
+	return pt.def
+}
+
+// PlacedBytes returns, per tier, how many bytes of non-default pages
+// are currently mapped. Useful to audit that placement honoured budget.
+func (pt *PageTable) PlacedBytes() map[TierID]int64 {
+	out := make(map[TierID]int64)
+	for _, t := range pt.pages {
+		out[t] += units.PageSize
+	}
+	return out
+}
+
+// Reset drops all explicit placements, coarse and fine.
+func (pt *PageTable) Reset() {
+	pt.pages = make(map[uint64]TierID)
+	pt.coarse = nil
+}
+
+// Extent describes a contiguous run of pages on one tier.
+type Extent struct {
+	Start uint64 // first byte
+	Size  int64  // bytes
+	Tier  TierID
+}
+
+// Extents returns the explicitly placed regions as sorted, coalesced
+// extents — primarily a debugging and reporting aid.
+func (pt *PageTable) Extents() []Extent {
+	if len(pt.pages) == 0 {
+		return nil
+	}
+	pagesByTier := make(map[TierID][]uint64)
+	for p, t := range pt.pages {
+		pagesByTier[t] = append(pagesByTier[t], p)
+	}
+	var out []Extent
+	for t, ps := range pagesByTier {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		start, n := ps[0], int64(1)
+		for _, p := range ps[1:] {
+			if p == start+uint64(n) {
+				n++
+				continue
+			}
+			out = append(out, Extent{Start: start * uint64(units.PageSize), Size: n * units.PageSize, Tier: t})
+			start, n = p, 1
+		}
+		out = append(out, Extent{Start: start * uint64(units.PageSize), Size: n * units.PageSize, Tier: t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// String summarizes the table.
+func (pt *PageTable) String() string {
+	placed := pt.PlacedBytes()
+	return fmt.Sprintf("PageTable{default=%v, placed=%v}", pt.def, placed)
+}

@@ -1,0 +1,46 @@
+package mem
+
+// PerRank derives the memory system visible to ONE rank of an MPI job
+// that packs `ranks` ranks onto the node: tier capacities and peak
+// bandwidths are divided evenly, and the rank runs `threads` cores.
+//
+// This is why the paper sweeps 32–256 MB of MCDRAM *per rank*: 64 ranks
+// share the node's 16 GB of MCDRAM, so one rank's fair share is 256 MB
+// — and why numactl -p 1 exhausts fast memory even though the node has
+// 16 GB. Per-core bandwidth is left unscaled (cores do not get slower
+// because other ranks exist; they contend for the shared peak, which
+// the division models).
+func PerRank(node Machine, ranks, threads int) Machine {
+	if ranks < 1 {
+		ranks = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	m := node
+	m.Cores = threads
+	m.Tiers = append([]TierSpec(nil), node.Tiers...)
+	for i := range m.Tiers {
+		m.Tiers[i].Capacity /= int64(ranks)
+		m.Tiers[i].PeakBandwidth /= float64(ranks)
+	}
+	return m
+}
+
+// WithCacheMode returns the machine reconfigured with MCDRAM as a
+// direct-mapped memory-side cache. The effective MCDRAM bandwidth drops
+// to ~70% of flat mode — the tag-check and fill overhead that makes
+// cache mode measurably slower than conscious flat-mode placement in
+// the paper's Figure 1.
+func WithCacheMode(m Machine) Machine {
+	out := m
+	out.Mode = CacheMode
+	out.Tiers = append([]TierSpec(nil), m.Tiers...)
+	for i := range out.Tiers {
+		if out.Tiers[i].ID == TierMCDRAM {
+			out.Tiers[i].PeakBandwidth *= 0.70
+			out.Tiers[i].PerCoreBandwidth *= 0.85
+		}
+	}
+	return out
+}

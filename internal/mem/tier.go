@@ -1,0 +1,218 @@
+// Package mem models the hybrid memory system of the simulated machine:
+// the set of memory tiers (DDR, on-package MCDRAM), their capacity,
+// latency and bandwidth characteristics, and the page table that maps
+// simulated virtual pages onto tiers.
+//
+// It is the stand-in for the physical Intel Xeon Phi 7250 memory system
+// used in the paper: 96 GB of DDR4 (~90 GB/s) and 16 GB of MCDRAM
+// (~480 GB/s in flat mode). As on real KNL hardware, MCDRAM has *worse*
+// idle latency than DDR but far higher bandwidth, which is why only
+// bandwidth-bound objects profit from promotion.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// TierID identifies a memory tier. Lower IDs are conventionally slower;
+// the advisor orders tiers by RelativePerf, not by ID.
+type TierID uint8
+
+// The two tiers of the reference machine. Additional tiers (e.g. NVM)
+// can be added through Machine.Tiers without touching the rest of the
+// system; the advisor and interposer iterate over the configured set.
+const (
+	TierDDR TierID = iota
+	TierMCDRAM
+)
+
+// String implements fmt.Stringer for diagnostics and reports.
+func (t TierID) String() string {
+	switch t {
+	case TierDDR:
+		return "DDR"
+	case TierMCDRAM:
+		return "MCDRAM"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// TierSpec describes one memory tier.
+type TierSpec struct {
+	ID   TierID
+	Name string
+
+	// Capacity in bytes. Allocators refuse to exceed it.
+	Capacity int64
+
+	// LatencyCycles is the unloaded per-cacheline access latency.
+	LatencyCycles units.Cycles
+
+	// PeakBandwidth is the tier's saturated bandwidth in bytes/second.
+	PeakBandwidth float64
+
+	// PerCoreBandwidth is the bandwidth one core can draw by itself, in
+	// bytes/second. Effective bandwidth at c cores is
+	// min(c*PerCoreBandwidth, PeakBandwidth).
+	PerCoreBandwidth float64
+
+	// RelativePerf orders tiers for the advisor's knapsack descent
+	// (higher = faster = filled first). The paper's hmem_advisor takes
+	// the same notion from its memory configuration file.
+	RelativePerf float64
+}
+
+// EffectiveBandwidth returns the bandwidth in bytes/second the tier
+// delivers when cores cores stream against it concurrently.
+func (s TierSpec) EffectiveBandwidth(cores int) float64 {
+	if cores <= 0 {
+		return 0
+	}
+	bw := float64(cores) * s.PerCoreBandwidth
+	if bw > s.PeakBandwidth {
+		return s.PeakBandwidth
+	}
+	return bw
+}
+
+// CacheModeKind selects how MCDRAM is exposed, mirroring the Xeon Phi
+// memory modes explored in the paper.
+type CacheModeKind uint8
+
+const (
+	// FlatMode exposes MCDRAM as separately allocatable memory.
+	FlatMode CacheModeKind = iota
+	// CacheMode configures MCDRAM as a direct-mapped memory-side cache
+	// in front of DDR; software placement is ignored.
+	CacheMode
+)
+
+// Machine is the full memory-system configuration of the simulated node.
+type Machine struct {
+	ClockHz  float64
+	Cores    int
+	LineSize int64
+	Tiers    []TierSpec
+	Mode     CacheModeKind
+
+	// LLC describes the last-level cache in front of the memory tiers
+	// (the L2 on Xeon Phi). PEBS samples its misses.
+	LLC LLCSpec
+}
+
+// LLCSpec configures the simulated last-level cache.
+type LLCSpec struct {
+	Size     int64
+	Ways     int
+	LineSize int64
+	// HitCycles is charged for every LLC hit; L1Hit for L1 hits.
+	HitCycles units.Cycles
+	L1Size    int64
+	L1Ways    int
+	L1Hit     units.Cycles
+}
+
+// DefaultKNL returns the reference configuration used throughout the
+// evaluation: an Intel Xeon Phi 7250 lookalike at 1.40 GHz with 68
+// cores, 96 GB DDR and 16 GB MCDRAM.
+func DefaultKNL() Machine {
+	return Machine{
+		ClockHz:  units.DefaultClockHz,
+		Cores:    68,
+		LineSize: 64,
+		Mode:     FlatMode,
+		Tiers: []TierSpec{
+			{
+				ID: TierDDR, Name: "DDR",
+				Capacity:         96 * units.GB,
+				LatencyCycles:    180,
+				PeakBandwidth:    90e9,
+				PerCoreBandwidth: 11e9,
+				RelativePerf:     1.0,
+			},
+			{
+				ID: TierMCDRAM, Name: "MCDRAM",
+				Capacity:         16 * units.GB,
+				LatencyCycles:    230,
+				PeakBandwidth:    480e9,
+				PerCoreBandwidth: 13e9,
+				RelativePerf:     4.8,
+			},
+		},
+		LLC: LLCSpec{
+			Size:      1 * units.MB,
+			Ways:      16,
+			LineSize:  64,
+			HitCycles: 14,
+			L1Size:    32 * units.KB,
+			L1Ways:    8,
+			L1Hit:     2,
+		},
+	}
+}
+
+// Tier returns the spec for id, or false if not configured.
+func (m *Machine) Tier(id TierID) (TierSpec, bool) {
+	for _, t := range m.Tiers {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return TierSpec{}, false
+}
+
+// FastestTier returns the tier with the highest RelativePerf.
+func (m *Machine) FastestTier() TierSpec {
+	best := m.Tiers[0]
+	for _, t := range m.Tiers[1:] {
+		if t.RelativePerf > best.RelativePerf {
+			best = t
+		}
+	}
+	return best
+}
+
+// SlowestTier returns the tier with the lowest RelativePerf.
+func (m *Machine) SlowestTier() TierSpec {
+	worst := m.Tiers[0]
+	for _, t := range m.Tiers[1:] {
+		if t.RelativePerf < worst.RelativePerf {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Validate reports configuration errors a user-supplied Machine may
+// contain.
+func (m *Machine) Validate() error {
+	if m.ClockHz <= 0 {
+		return fmt.Errorf("mem: clock must be positive, got %v", m.ClockHz)
+	}
+	if m.Cores <= 0 {
+		return fmt.Errorf("mem: cores must be positive, got %d", m.Cores)
+	}
+	if m.LineSize <= 0 || m.LineSize&(m.LineSize-1) != 0 {
+		return fmt.Errorf("mem: line size must be a positive power of two, got %d", m.LineSize)
+	}
+	if len(m.Tiers) == 0 {
+		return fmt.Errorf("mem: at least one tier required")
+	}
+	seen := map[TierID]bool{}
+	for _, t := range m.Tiers {
+		if seen[t.ID] {
+			return fmt.Errorf("mem: duplicate tier id %v", t.ID)
+		}
+		seen[t.ID] = true
+		if t.Capacity <= 0 {
+			return fmt.Errorf("mem: tier %v capacity must be positive", t.ID)
+		}
+		if t.PeakBandwidth <= 0 || t.PerCoreBandwidth <= 0 {
+			return fmt.Errorf("mem: tier %v bandwidth must be positive", t.ID)
+		}
+	}
+	return nil
+}

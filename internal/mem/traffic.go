@@ -1,0 +1,90 @@
+package mem
+
+import "repro/internal/units"
+
+// Traffic accumulates per-tier memory traffic within one timed region
+// (a workload phase). The phase cost model converts it into time by
+// charging, per tier, the larger of the latency component and the
+// bandwidth component — the same first-order model that makes STREAM
+// saturate at a tier's peak bandwidth while latency-bound pointer
+// chases see the unloaded latency.
+type Traffic struct {
+	bytes  map[TierID]int64
+	visits map[TierID]int64
+}
+
+// NewTraffic returns an empty accumulator.
+func NewTraffic() *Traffic {
+	return &Traffic{bytes: make(map[TierID]int64), visits: make(map[TierID]int64)}
+}
+
+// Add records one memory-level access of n bytes against tier.
+func (tr *Traffic) Add(tier TierID, n int64) {
+	tr.bytes[tier] += n
+	tr.visits[tier]++
+}
+
+// Bytes returns bytes moved against tier.
+func (tr *Traffic) Bytes(tier TierID) int64 { return tr.bytes[tier] }
+
+// Visits returns the number of line transfers against tier.
+func (tr *Traffic) Visits(tier TierID) int64 { return tr.visits[tier] }
+
+// TotalBytes sums all tiers.
+func (tr *Traffic) TotalBytes() int64 {
+	var s int64
+	for _, b := range tr.bytes {
+		s += b
+	}
+	return s
+}
+
+// Reset clears the accumulator.
+func (tr *Traffic) Reset() {
+	tr.bytes = make(map[TierID]int64)
+	tr.visits = make(map[TierID]int64)
+}
+
+// tierOverlap is the fraction of the non-dominant tiers' drain time
+// that hides under the dominant tier's. Tiers are independent channels,
+// but demand accesses interleave within each thread's dependency
+// chains, so the overlap is imperfect: the region's memory time is
+// max + (1-tierOverlap) * rest.
+const tierOverlap = 0.6
+
+// MemoryTime converts the accumulated traffic into simulated cycles for
+// a region executed on cores cores of machine m.
+//
+// Per tier the cost is max(latencyComponent/overlap, bandwidthComponent):
+// the latency component is visits*latency divided by the memory-level
+// parallelism the cores can extract (outstanding misses overlap), and
+// the bandwidth component is bytes / effectiveBandwidth. Across tiers
+// the costs combine with partial overlap (see tierOverlap).
+func (tr *Traffic) MemoryTime(m *Machine, cores int) units.Cycles {
+	if cores <= 0 {
+		cores = 1
+	}
+	var worst, sum units.Cycles
+	for _, spec := range m.Tiers {
+		v := tr.visits[spec.ID]
+		b := tr.bytes[spec.ID]
+		if v == 0 && b == 0 {
+			continue
+		}
+		// Each core sustains ~16 outstanding misses (KNL hardware
+		// prefetchers keep many L2 fills in flight for streams).
+		mlp := float64(cores) * 16
+		lat := units.Cycles(float64(v) * float64(spec.LatencyCycles) / mlp)
+		bw := spec.EffectiveBandwidth(cores)
+		bwCycles := units.Cycles(float64(b) / bw * m.ClockHz)
+		c := lat
+		if bwCycles > c {
+			c = bwCycles
+		}
+		sum += c
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst + units.Cycles(float64(sum-worst)*(1-tierOverlap))
+}

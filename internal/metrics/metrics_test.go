@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestDeltaFOMPerMB(t *testing.T) {
+	// 100 FOM over DDR's 80, using 32 MB: (100-80)/32 = 0.625.
+	got := DeltaFOMPerMB(100, 80, 32*units.MB)
+	if got < 0.624 || got > 0.626 {
+		t.Fatalf("DeltaFOMPerMB = %v, want 0.625", got)
+	}
+	if DeltaFOMPerMB(100, 80, 0) != 0 {
+		t.Fatal("zero memory should yield 0")
+	}
+	// Regression below DDR yields negative efficiency.
+	if DeltaFOMPerMB(70, 80, 32*units.MB) >= 0 {
+		t.Fatal("regression should be negative")
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	if got := ImprovementPct(178.88, 100); got < 78.87 || got > 78.89 {
+		t.Fatalf("ImprovementPct = %v", got)
+	}
+	if ImprovementPct(10, 0) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+}
+
+func TestSweetSpot(t *testing.T) {
+	budgets := []int64{32 * units.MB, 64 * units.MB, 128 * units.MB, 256 * units.MB}
+	// FOM plateaus after 128 MB: sweet spot where gain/MB peaks.
+	foms := []float64{90, 100, 120, 121}
+	ddr := 80.0
+	// Deltas: 10/32, 20/64, 40/128, 41/256 -> 0.3125 equal first three?
+	// 0.3125, 0.3125, 0.3125, 0.16 — first wins (ties keep earliest).
+	if got := SweetSpot(foms, budgets, ddr); got != 0 {
+		t.Fatalf("sweet spot = %d, want 0", got)
+	}
+	// A shape where 128 MB is clearly best.
+	foms = []float64{81, 85, 130, 131}
+	if got := SweetSpot(foms, budgets, ddr); got != 2 {
+		t.Fatalf("sweet spot = %d, want 2", got)
+	}
+	if SweetSpot(nil, budgets, ddr) != -1 {
+		t.Fatal("empty input should return -1")
+	}
+}

@@ -1,0 +1,365 @@
+// Package paramedir is the trace-reduction stage of the framework (the
+// Paramedir batch analyzer of the BSC tool-suite): it replays an
+// Extrae-style trace, tracks the live dynamically-allocated regions by
+// their allocation call stack, attributes every PEBS sample to the
+// object whose address range contains it, and emits per-object
+// statistics — sampled LLC misses and the maximum requested size — as
+// the CSV that hmem_advisor consumes.
+//
+// Dynamic objects are identified by their (translated) allocation call
+// stack. A loop over an allocation statement produces the same stack
+// every iteration, so repeated allocations merge into one object whose
+// size is the maximum observed request — the approximation Section III
+// ("Step 2: Paramedir") describes, and the reason the advisor can
+// overestimate the live footprint of churny applications like Lulesh.
+package paramedir
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/callstack"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// LiveInterval is one period during which an allocation of the site
+// was live, with the bytes it held.
+type LiveInterval struct {
+	Start, End units.Cycles
+	Size       int64
+}
+
+// ObjectStat aggregates one data object.
+type ObjectStat struct {
+	// ID is the object identity: the call-stack key for dynamic
+	// objects, "static:<name>" for static/stack objects.
+	ID string
+	// Site is the allocation call stack (empty for statics).
+	Site callstack.Key
+	// Static marks objects the interposer cannot move.
+	Static bool
+	// MaxSize is the largest request observed for this site.
+	MaxSize int64
+	// Misses is the number of PEBS samples attributed to the object.
+	Misses int64
+	// AllocCount is how many allocations the site performed.
+	AllocCount int64
+	// Intervals is the site's liveness timeline — the "time-varying
+	// representation of the application address space" Section III
+	// notes hmem_advisor could exploit (see advisor.AdviseTimeAware).
+	Intervals []LiveInterval
+}
+
+// Profile is the reduction of one trace.
+type Profile struct {
+	App          string
+	SamplePeriod uint64
+	Objects      []ObjectStat // sorted by Misses descending
+	TotalSamples int64
+	// Unattributed counts samples that fell outside every known
+	// object (stack spills of uninstrumented data, allocator metadata).
+	Unattributed int64
+}
+
+// TotalMisses sums the attributed sample counts.
+func (p *Profile) TotalMisses() int64 {
+	var s int64
+	for _, o := range p.Objects {
+		s += o.Misses
+	}
+	return s
+}
+
+// Object returns the stat with the given ID.
+func (p *Profile) Object(id string) (ObjectStat, bool) {
+	for _, o := range p.Objects {
+		if o.ID == id {
+			return o, true
+		}
+	}
+	return ObjectStat{}, false
+}
+
+// region is a live address range during replay.
+type region struct {
+	start, end uint64
+	id         string
+	born       units.Cycles
+	size       int64
+}
+
+// Analyze replays tr and reduces it to a Profile.
+func Analyze(tr *trace.Trace) (*Profile, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("paramedir: nil trace")
+	}
+	p := &Profile{App: tr.App}
+	if s, ok := tr.Meta["period"]; ok {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			p.SamplePeriod = v
+		}
+	}
+
+	stats := make(map[string]*ObjectStat)
+	getStat := func(id string, site callstack.Key, static bool) *ObjectStat {
+		if s, ok := stats[id]; ok {
+			return s
+		}
+		s := &ObjectStat{ID: id, Site: site, Static: static}
+		stats[id] = s
+		return s
+	}
+
+	var live []region // sorted by start
+	insert := func(r region) {
+		i := sort.Search(len(live), func(i int) bool { return live[i].start >= r.start })
+		live = append(live, region{})
+		copy(live[i+1:], live[i:])
+		live[i] = r
+	}
+	removeAt := func(addr uint64) (region, bool) {
+		i := sort.Search(len(live), func(i int) bool { return live[i].start >= addr })
+		if i < len(live) && live[i].start == addr {
+			r := live[i]
+			live = append(live[:i], live[i+1:]...)
+			return r, true
+		}
+		return region{}, false
+	}
+	find := func(addr uint64) (region, bool) {
+		i := sort.Search(len(live), func(i int) bool { return live[i].start > addr })
+		if i > 0 && addr < live[i-1].end {
+			return live[i-1], true
+		}
+		return region{}, false
+	}
+
+	var lastTime units.Cycles
+	closeRegion := func(r region, at units.Cycles) {
+		st := stats[r.id]
+		if st == nil {
+			return
+		}
+		st.Intervals = append(st.Intervals, LiveInterval{Start: r.born, End: at, Size: r.size})
+	}
+	for idx, rec := range tr.Records {
+		if rec.Time > lastTime {
+			lastTime = rec.Time
+		}
+		switch rec.Type {
+		case trace.EvAlloc:
+			if rec.Size <= 0 {
+				return nil, fmt.Errorf("paramedir: record %d: alloc with size %d", idx, rec.Size)
+			}
+			id := string(rec.Site)
+			st := getStat(id, rec.Site, false)
+			st.AllocCount++
+			if rec.Size > st.MaxSize {
+				st.MaxSize = rec.Size
+			}
+			insert(region{start: rec.Addr, end: rec.Addr + uint64(rec.Size), id: id, born: rec.Time, size: rec.Size})
+		case trace.EvRealloc:
+			if old, ok := removeAt(rec.Aux); ok {
+				closeRegion(old, rec.Time)
+			} else if rec.Aux != 0 {
+				return nil, fmt.Errorf("paramedir: record %d: realloc of unknown region %#x", idx, rec.Aux)
+			}
+			id := string(rec.Site)
+			st := getStat(id, rec.Site, false)
+			st.AllocCount++
+			if rec.Size > st.MaxSize {
+				st.MaxSize = rec.Size
+			}
+			insert(region{start: rec.Addr, end: rec.Addr + uint64(rec.Size), id: id, born: rec.Time, size: rec.Size})
+		case trace.EvFree:
+			// Frees of uninstrumented (small) allocations legitimately
+			// miss; ignore them as Extrae does.
+			if old, ok := removeAt(rec.Addr); ok {
+				closeRegion(old, rec.Time)
+			}
+		case trace.EvStatic:
+			id := "static:" + rec.Routine
+			st := getStat(id, "", true)
+			st.AllocCount++
+			if rec.Size > st.MaxSize {
+				st.MaxSize = rec.Size
+			}
+			insert(region{start: rec.Addr, end: rec.Addr + uint64(rec.Size), id: id, born: rec.Time, size: rec.Size})
+		case trace.EvSample:
+			p.TotalSamples++
+			if r, ok := find(rec.Addr); ok {
+				stats[r.id].Misses++
+			} else {
+				p.Unattributed++
+			}
+		}
+	}
+	// Close whatever is still live at the end of the trace.
+	for _, r := range live {
+		closeRegion(r, lastTime)
+	}
+
+	p.Objects = make([]ObjectStat, 0, len(stats))
+	for _, s := range stats {
+		p.Objects = append(p.Objects, *s)
+	}
+	sort.Slice(p.Objects, func(i, j int) bool {
+		if p.Objects[i].Misses != p.Objects[j].Misses {
+			return p.Objects[i].Misses > p.Objects[j].Misses
+		}
+		return p.Objects[i].ID < p.Objects[j].ID
+	})
+	return p, nil
+}
+
+// csvHeader is the column layout of the Paramedir CSV. The intervals
+// column encodes the liveness timeline as start:end:size triples
+// joined by '|'.
+var csvHeader = []string{"id", "static", "misses", "max_size", "alloc_count", "site", "intervals"}
+
+func encodeIntervals(ivs []LiveInterval) string {
+	var b strings.Builder
+	for i, iv := range ivs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d:%d:%d", iv.Start, iv.End, iv.Size)
+	}
+	return b.String()
+}
+
+func decodeIntervals(s string) ([]LiveInterval, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "|")
+	out := make([]LiveInterval, 0, len(parts))
+	for _, p := range parts {
+		var iv LiveInterval
+		var st, en int64
+		if _, err := fmt.Sscanf(p, "%d:%d:%d", &st, &en, &iv.Size); err != nil {
+			return nil, fmt.Errorf("paramedir: bad interval %q: %w", p, err)
+		}
+		iv.Start, iv.End = units.Cycles(st), units.Cycles(en)
+		out = append(out, iv)
+	}
+	return out, nil
+}
+
+// WriteCSV emits the profile in the comma-separated form hmem_advisor
+// reads, preceded by #-comment metadata lines.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#app=%s\n", p.App)
+	fmt.Fprintf(bw, "#period=%d\n", p.SamplePeriod)
+	fmt.Fprintf(bw, "#samples=%d\n", p.TotalSamples)
+	fmt.Fprintf(bw, "#unattributed=%d\n", p.Unattributed)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, o := range p.Objects {
+		rec := []string{
+			o.ID,
+			strconv.FormatBool(o.Static),
+			strconv.FormatInt(o.Misses, 10),
+			strconv.FormatInt(o.MaxSize, 10),
+			strconv.FormatInt(o.AllocCount, 10),
+			string(o.Site),
+			encodeIntervals(o.Intervals),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a profile written by WriteCSV.
+func ReadCSV(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	p := &Profile{}
+	// Comment preamble.
+	for {
+		peek, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("paramedir: truncated CSV: %w", err)
+		}
+		if peek[0] != '#' {
+			break
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		var iv int64
+		switch {
+		case len(line) > 5 && line[:5] == "#app=":
+			p.App = line[5 : len(line)-1]
+		case parseMetaInt(line, "#period=", &iv):
+			p.SamplePeriod = uint64(iv)
+		case parseMetaInt(line, "#samples=", &iv):
+			p.TotalSamples = iv
+		case parseMetaInt(line, "#unattributed=", &iv):
+			p.Unattributed = iv
+		}
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("paramedir: bad CSV: %w", err)
+	}
+	if len(rows) == 0 || rows[0][0] != "id" {
+		return nil, fmt.Errorf("paramedir: missing CSV header")
+	}
+	for _, row := range rows[1:] {
+		static, err := strconv.ParseBool(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("paramedir: bad static flag %q", row[1])
+		}
+		misses, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("paramedir: bad misses %q", row[2])
+		}
+		size, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("paramedir: bad size %q", row[3])
+		}
+		count, err := strconv.ParseInt(row[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("paramedir: bad count %q", row[4])
+		}
+		ivs, err := decodeIntervals(row[6])
+		if err != nil {
+			return nil, err
+		}
+		p.Objects = append(p.Objects, ObjectStat{
+			ID: row[0], Static: static, Misses: misses, MaxSize: size,
+			AllocCount: count, Site: callstack.Key(row[5]), Intervals: ivs,
+		})
+	}
+	return p, nil
+}
+
+func parseMetaInt(line, prefix string, out *int64) bool {
+	if len(line) <= len(prefix) || line[:len(prefix)] != prefix {
+		return false
+	}
+	v, err := strconv.ParseInt(line[len(prefix):len(line)-1], 10, 64)
+	if err != nil {
+		return false
+	}
+	*out = v
+	return true
+}

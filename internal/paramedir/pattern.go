@@ -1,0 +1,110 @@
+package paramedir
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// AccessPattern classifies how an object's sampled references move
+// through its address range — the second future-work direction of
+// Section V: the Folding technique "leads us to identify regions of
+// code with regular and irregular access patterns. This analysis would
+// help placing irregularly accessed variables into the memory with
+// shorter latency."
+type AccessPattern uint8
+
+// Pattern classes.
+const (
+	// PatternUnknown: too few samples to judge (< minPatternSamples).
+	PatternUnknown AccessPattern = iota
+	// PatternRegular: samples advance through the object in a
+	// monotonic, evenly-spaced way (streaming/strided code).
+	PatternRegular
+	// PatternIrregular: samples scatter across the object with no
+	// spatial order (gather/scatter, pointer chasing).
+	PatternIrregular
+)
+
+// String implements fmt.Stringer.
+func (p AccessPattern) String() string {
+	switch p {
+	case PatternRegular:
+		return "regular"
+	case PatternIrregular:
+		return "irregular"
+	default:
+		return "unknown"
+	}
+}
+
+// minPatternSamples is the smallest sample count that supports a
+// classification.
+const minPatternSamples = 8
+
+// classifyOffsets decides regularity from the time-ordered sample
+// offsets within one object.
+//
+// The discriminator is direction coherence: streaming code (even
+// sampled sparsely) produces offsets that mostly move forward, while
+// gathers jump back and forth. A secondary check on the spread of
+// positive step sizes separates strided streams (near-constant steps)
+// from lucky monotonic random runs.
+func classifyOffsets(offsets []int64) AccessPattern {
+	if len(offsets) < minPatternSamples {
+		return PatternUnknown
+	}
+	forward := 0
+	var steps []int64
+	for i := 1; i < len(offsets); i++ {
+		d := offsets[i] - offsets[i-1]
+		if d >= 0 {
+			forward++
+			steps = append(steps, d)
+		}
+	}
+	total := len(offsets) - 1
+	coherence := float64(forward) / float64(total)
+	// Streams restart from the object base every phase execution:
+	// accept a small fraction of backward jumps.
+	if coherence < 0.75 {
+		return PatternIrregular
+	}
+	if len(steps) < minPatternSamples/2 {
+		return PatternIrregular
+	}
+	// Relative median absolute deviation of the forward steps.
+	sorted := append([]int64(nil), steps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	if median == 0 {
+		return PatternRegular
+	}
+	var dev []int64
+	for _, s := range steps {
+		d := s - median
+		if d < 0 {
+			d = -d
+		}
+		dev = append(dev, d)
+	}
+	sort.Slice(dev, func(i, j int) bool { return dev[i] < dev[j] })
+	mad := dev[len(dev)/2]
+	if float64(mad) <= 0.5*float64(median) {
+		return PatternRegular
+	}
+	return PatternIrregular
+}
+
+// ClassifyPatterns augments a profile with per-object access-pattern
+// classes derived from the trace's sample stream. It must be given the
+// same trace the profile was computed from.
+func ClassifyPatterns(p *Profile, tr *trace.Trace) map[string]AccessPattern {
+	offsets := collectOffsets(tr)
+	out := make(map[string]AccessPattern, len(p.Objects))
+	for i := range p.Objects {
+		id := p.Objects[i].ID
+		out[id] = classifyOffsets(offsets[id])
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package paramedir
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func TestClassifyOffsetsRegular(t *testing.T) {
+	// Perfect stride.
+	var offs []int64
+	for i := int64(0); i < 40; i++ {
+		offs = append(offs, i*4096)
+	}
+	if got := classifyOffsets(offs); got != PatternRegular {
+		t.Fatalf("strided offsets classified %v", got)
+	}
+	// Streaming with per-phase restarts (two monotonic runs).
+	offs = offs[:0]
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < 20; i++ {
+			offs = append(offs, i*8192)
+		}
+	}
+	if got := classifyOffsets(offs); got != PatternRegular {
+		t.Fatalf("restarting stream classified %v", got)
+	}
+}
+
+func TestClassifyOffsetsIrregular(t *testing.T) {
+	r := xrand.New(5)
+	var offs []int64
+	for i := 0; i < 60; i++ {
+		offs = append(offs, int64(r.Uint64n(64*uint64(units.MB))))
+	}
+	if got := classifyOffsets(offs); got != PatternIrregular {
+		t.Fatalf("random offsets classified %v", got)
+	}
+}
+
+func TestClassifyOffsetsUnknown(t *testing.T) {
+	if got := classifyOffsets([]int64{1, 2, 3}); got != PatternUnknown {
+		t.Fatalf("3 samples classified %v, want unknown", got)
+	}
+	if got := classifyOffsets(nil); got != PatternUnknown {
+		t.Fatalf("no samples classified %v, want unknown", got)
+	}
+}
+
+// TestClassifyPatternsOnRealTrace checks that the classifier separates
+// HPCG's gathered vector x (irregular) from its streamed matrix
+// (regular) using only the sampled trace.
+func TestClassifyPatternsOnRealTrace(t *testing.T) {
+	w, err := apps.ByName("hpcg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := apps.MachineFor(w)
+	res, err := engine.Run(w, engine.Config{
+		Machine: m, Seed: 9, MakePolicy: baseline.DDR(),
+		Monitor: &engine.MonitorConfig{SamplePeriod: 400, MinAllocSize: 4 * units.KB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Analyze(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := ClassifyPatterns(prof, res.Trace)
+
+	var matrixID, xID string
+	for _, o := range prof.Objects {
+		if containsStr(o.ID, "allocMatrixValues") {
+			matrixID = o.ID
+		}
+		if containsStr(o.ID, "allocVectorX") {
+			xID = o.ID
+		}
+	}
+	if matrixID == "" || xID == "" {
+		t.Fatal("expected objects missing from profile")
+	}
+	if patterns[matrixID] != PatternRegular {
+		t.Errorf("matrix stream classified %v, want regular", patterns[matrixID])
+	}
+	if patterns[xID] != PatternIrregular {
+		t.Errorf("gathered vector classified %v, want irregular", patterns[xID])
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestClassifyPatternsEmptyTrace(t *testing.T) {
+	p := &Profile{Objects: []ObjectStat{{ID: "x"}}}
+	got := ClassifyPatterns(p, trace.New("e"))
+	if got["x"] != PatternUnknown {
+		t.Fatalf("no samples should classify unknown, got %v", got["x"])
+	}
+}
+
+func TestAccessPatternString(t *testing.T) {
+	if PatternRegular.String() != "regular" || PatternIrregular.String() != "irregular" || PatternUnknown.String() != "unknown" {
+		t.Fatal("pattern strings wrong")
+	}
+}

@@ -1,0 +1,96 @@
+package pebs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplerDecimation(t *testing.T) {
+	s := NewSampler(100)
+	emitted := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := s.Observe(uint64(i), "r"); ok {
+			emitted++
+		}
+	}
+	if emitted != 10 {
+		t.Fatalf("emitted = %d, want 10 (period 100 over 1000 misses)", emitted)
+	}
+	if s.Misses() != 1000 || s.Emitted() != 10 {
+		t.Fatalf("counters: misses=%d emitted=%d", s.Misses(), s.Emitted())
+	}
+}
+
+func TestSamplerExactNth(t *testing.T) {
+	s := NewSampler(3)
+	var picks []int
+	for i := 1; i <= 9; i++ {
+		if _, ok := s.Observe(uint64(i), "r"); ok {
+			picks = append(picks, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(picks) != 3 || picks[0] != want[0] || picks[1] != want[1] || picks[2] != want[2] {
+		t.Fatalf("picked misses %v, want %v", picks, want)
+	}
+}
+
+func TestSamplerCarriesContext(t *testing.T) {
+	s := NewSampler(1)
+	smp, ok := s.Observe(0xabc, "octsweep")
+	if !ok {
+		t.Fatal("period-1 sampler must sample every miss")
+	}
+	if smp.Addr != 0xabc || smp.Routine != "octsweep" {
+		t.Fatalf("sample = %+v", smp)
+	}
+}
+
+func TestSamplerDefaultPeriod(t *testing.T) {
+	s := NewSampler(0)
+	if s.Period() != DefaultPeriod {
+		t.Fatalf("period = %d, want %d", s.Period(), DefaultPeriod)
+	}
+}
+
+func TestSamplerOverheadAndReset(t *testing.T) {
+	s := NewSampler(10)
+	for i := 0; i < 100; i++ {
+		s.Observe(0, "")
+	}
+	if s.OverheadCycles() != 10*s.PerSampleCost {
+		t.Fatalf("overhead = %d", s.OverheadCycles())
+	}
+	s.Reset()
+	if s.Misses() != 0 || s.Emitted() != 0 || s.OverheadCycles() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	// After reset the countdown restarts: the 10th miss samples again.
+	n := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Observe(0, ""); ok {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("post-reset emitted = %d, want 1", n)
+	}
+}
+
+func TestSamplerRateProperty(t *testing.T) {
+	f := func(p uint16, n uint16) bool {
+		period := uint64(p%500) + 1
+		misses := int(n)
+		s := NewSampler(period)
+		emitted := 0
+		for i := 0; i < misses; i++ {
+			if _, ok := s.Observe(uint64(i), ""); ok {
+				emitted++
+			}
+		}
+		return emitted == misses/int(period)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

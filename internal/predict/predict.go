@@ -1,0 +1,261 @@
+// Package predict implements the paper's first future-work item
+// (Section V): "explore ways of predicting the application performance
+// gains when moving some data objects into fast memory ... replay the
+// trace-file containing all the memory samples using a simulator."
+//
+// The predictor replays a profiling trace against a hypothetical
+// placement WITHOUT re-running the application: each PEBS sample is a
+// statistical stand-in for `period` LLC misses at its address, so the
+// predictor reconstructs per-tier traffic per phase from samples alone,
+// runs it through the same bandwidth/latency cost model as the engine,
+// and scales the DDR-run phase times by the predicted memory-time
+// ratio. Stage 4 then only needs to run for placements the prediction
+// ranks as promising.
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/advisor"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Prediction is the outcome of one replay.
+type Prediction struct {
+	// SpeedupVsDDR is the predicted run-time ratio DDR/placement
+	// (values > 1 mean the placement is faster).
+	SpeedupVsDDR float64
+	// PredictedSeconds is the predicted wall time of the placement run.
+	PredictedSeconds float64
+	// MovedMissFraction is the fraction of sampled misses whose
+	// objects the placement promotes.
+	MovedMissFraction float64
+	// PhaseSpeedups per routine (diagnostic).
+	PhaseSpeedups map[string]float64
+}
+
+// region tracks a live allocation during replay.
+type region struct {
+	start, end uint64
+	site       string
+}
+
+// replayer rebuilds live regions and per-phase sample streams.
+type replayer struct {
+	machine mem.Machine
+	period  float64
+
+	live   []region // sorted by start
+	phase  string
+	phases map[string]*phaseAcc
+	order  []string
+}
+
+type phaseAcc struct {
+	// samples per object site ("" = unattributed / non-heap).
+	samplesBySite map[string]int64
+	total         int64
+	// duration of the phase in the DDR profiling run.
+	ddrCycles units.Cycles
+	open      units.Cycles
+	seen      bool
+}
+
+// Replay predicts the performance of running the traced application
+// with the given placement report enforced, relative to the DDR
+// profiling run the trace records.
+func Replay(tr *trace.Trace, rep *advisor.Report, machine mem.Machine) (*Prediction, error) {
+	if tr == nil || rep == nil {
+		return nil, fmt.Errorf("predict: nil trace or report")
+	}
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	r := &replayer{
+		machine: machine,
+		period:  1,
+		phases:  make(map[string]*phaseAcc),
+	}
+	if p, ok := tr.Meta["period"]; ok {
+		var v float64
+		fmt.Sscanf(p, "%g", &v)
+		if v > 0 {
+			r.period = v
+		}
+	}
+
+	for idx := range tr.Records {
+		rec := &tr.Records[idx]
+		switch rec.Type {
+		case trace.EvAlloc:
+			r.insert(region{start: rec.Addr, end: rec.Addr + uint64(rec.Size), site: string(rec.Site)})
+		case trace.EvRealloc:
+			r.remove(rec.Aux)
+			r.insert(region{start: rec.Addr, end: rec.Addr + uint64(rec.Size), site: string(rec.Site)})
+		case trace.EvFree:
+			r.remove(rec.Addr)
+		case trace.EvStatic:
+			r.insert(region{start: rec.Addr, end: rec.Addr + uint64(rec.Size), site: "static:" + rec.Routine})
+		case trace.EvPhaseBegin:
+			if rec.Routine != "__iter__" {
+				r.beginPhase(rec.Routine, rec.Time)
+			}
+		case trace.EvPhaseEnd:
+			if rec.Routine != "__iter__" {
+				r.endPhase(rec.Routine, rec.Time)
+			}
+		case trace.EvSample:
+			r.sample(rec.Addr)
+		}
+	}
+	return r.finish(rep)
+}
+
+func (r *replayer) insert(rg region) {
+	i := sort.Search(len(r.live), func(i int) bool { return r.live[i].start >= rg.start })
+	r.live = append(r.live, region{})
+	copy(r.live[i+1:], r.live[i:])
+	r.live[i] = rg
+}
+
+func (r *replayer) remove(addr uint64) {
+	i := sort.Search(len(r.live), func(i int) bool { return r.live[i].start >= addr })
+	if i < len(r.live) && r.live[i].start == addr {
+		r.live = append(r.live[:i], r.live[i+1:]...)
+	}
+}
+
+func (r *replayer) siteOf(addr uint64) string {
+	i := sort.Search(len(r.live), func(i int) bool { return r.live[i].start > addr })
+	if i > 0 && addr < r.live[i-1].end {
+		return r.live[i-1].site
+	}
+	return ""
+}
+
+func (r *replayer) acc(name string) *phaseAcc {
+	a, ok := r.phases[name]
+	if !ok {
+		a = &phaseAcc{samplesBySite: make(map[string]int64)}
+		r.phases[name] = a
+		r.order = append(r.order, name)
+	}
+	return a
+}
+
+func (r *replayer) beginPhase(name string, t units.Cycles) {
+	r.phase = name
+	a := r.acc(name)
+	a.open = t
+	a.seen = true
+}
+
+func (r *replayer) endPhase(name string, t units.Cycles) {
+	if a, ok := r.phases[name]; ok && a.seen {
+		a.ddrCycles += t - a.open
+	}
+	if r.phase == name {
+		r.phase = ""
+	}
+}
+
+func (r *replayer) sample(addr uint64) {
+	a := r.acc(r.phase)
+	a.samplesBySite[r.siteOf(addr)]++
+	a.total++
+}
+
+// finish converts the per-phase sample streams into predicted times.
+func (r *replayer) finish(rep *advisor.Report) (*Prediction, error) {
+	promoted := make(map[string]bool)
+	for _, e := range rep.Entries {
+		if !e.Static {
+			promoted[e.ID] = true
+		}
+	}
+
+	ddrTier := r.machine.SlowestTier()
+	fastTier := r.machine.FastestTier()
+	line := r.machine.LineSize
+
+	pred := &Prediction{PhaseSpeedups: make(map[string]float64)}
+	var totalDDR, totalPred float64
+	var movedSamples, allSamples int64
+
+	for _, name := range r.order {
+		a := r.phases[name]
+		if a.total == 0 || a.ddrCycles <= 0 {
+			continue
+		}
+		var moved int64
+		for site, n := range a.samplesBySite {
+			if promoted[site] {
+				moved += n
+			}
+		}
+		movedSamples += moved
+		allSamples += a.total
+
+		// Reconstruct the phase's tier traffic: each sample stands for
+		// `period` misses of one line.
+		ddrTraffic := mem.NewTraffic()
+		newTraffic := mem.NewTraffic()
+		for i := int64(0); i < a.total; i++ {
+			ddrTraffic.Add(ddrTier.ID, line)
+		}
+		stay := a.total - moved
+		for i := int64(0); i < stay; i++ {
+			newTraffic.Add(ddrTier.ID, line)
+		}
+		for i := int64(0); i < moved; i++ {
+			newTraffic.Add(fastTier.ID, line)
+		}
+		ddrMem := ddrTraffic.MemoryTime(&r.machine, r.machine.Cores)
+		newMem := newTraffic.MemoryTime(&r.machine, r.machine.Cores)
+		if ddrMem <= 0 {
+			continue
+		}
+		// The phase's DDR duration = compute + memory; assume the
+		// sampled misses represent all memory time, so scale only the
+		// memory share. Without a compute split in the trace, use the
+		// conservative assumption memory-bound (the workloads the
+		// framework targets are).
+		ratio := float64(newMem) / float64(ddrMem)
+		predCycles := float64(a.ddrCycles) * ratio
+		pred.PhaseSpeedups[name] = 1 / ratio
+		totalDDR += float64(a.ddrCycles)
+		totalPred += predCycles
+	}
+	if totalDDR == 0 {
+		return nil, fmt.Errorf("predict: trace contains no timed phases with samples")
+	}
+	pred.SpeedupVsDDR = totalDDR / totalPred
+	pred.PredictedSeconds = units.Cycles(totalPred).Seconds(r.machine.ClockHz)
+	if allSamples > 0 {
+		pred.MovedMissFraction = float64(movedSamples) / float64(allSamples)
+	}
+	return pred, nil
+}
+
+// RankPlacements replays the trace against several candidate reports
+// and returns their indices ordered by predicted speedup, best first —
+// the screening use case the paper envisions.
+func RankPlacements(tr *trace.Trace, reports []*advisor.Report, machine mem.Machine) ([]int, []*Prediction, error) {
+	preds := make([]*Prediction, len(reports))
+	idx := make([]int, len(reports))
+	for i, rep := range reports {
+		p, err := Replay(tr, rep, machine)
+		if err != nil {
+			return nil, nil, fmt.Errorf("predict: report %d: %w", i, err)
+		}
+		preds[i] = p
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return preds[idx[a]].SpeedupVsDDR > preds[idx[b]].SpeedupVsDDR
+	})
+	return idx, preds, nil
+}

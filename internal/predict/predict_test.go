@@ -1,0 +1,151 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/interpose"
+	"repro/internal/mem"
+	"repro/internal/paramedir"
+	"repro/internal/units"
+)
+
+// profileApp runs the monitored DDR execution of a workload.
+func profileApp(t *testing.T, name string) (*engine.Workload, mem.Machine, *engine.Result) {
+	t.Helper()
+	w, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := apps.MachineFor(w)
+	res, err := engine.Run(w, engine.Config{
+		Machine: m, Seed: 9, MakePolicy: baseline.DDR(),
+		Monitor: &engine.MonitorConfig{SamplePeriod: 1499, MinAllocSize: 4 * units.KB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, m, res
+}
+
+func adviseBudget(t *testing.T, res *engine.Result, budget int64) *advisor.Report {
+	t.Helper()
+	prof, err := paramedir.Analyze(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := advisor.Advise(prof.App, advisor.FromProfile(prof), advisor.TwoTier(budget), advisor.MissesStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestReplayPredictsSpeedupDirection(t *testing.T) {
+	w, m, profRun := profileApp(t, "hpcg")
+	rep := adviseBudget(t, profRun, 256*units.MB)
+
+	pred, err := Replay(profRun.Trace, rep, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.SpeedupVsDDR <= 1 {
+		t.Fatalf("predicted speedup = %v, want > 1 for a hot-object placement", pred.SpeedupVsDDR)
+	}
+	if pred.MovedMissFraction <= 0 || pred.MovedMissFraction >= 1 {
+		t.Fatalf("moved fraction = %v, want in (0,1)", pred.MovedMissFraction)
+	}
+
+	// Compare against the actual stage-4 run.
+	actual, err := engine.Run(w, engine.Config{
+		Machine: m, Seed: 10, MakePolicy: interpose.Factory(rep, interpose.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddr, err := engine.Run(w, engine.Config{Machine: m, Seed: 10, MakePolicy: baseline.DDR()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actualSpeedup := ddr.Seconds / actual.Seconds
+	// Prediction within a factor of ~1.6 of the measured speedup —
+	// the paper expects screening precision, not cycle accuracy.
+	if pred.SpeedupVsDDR > actualSpeedup*1.6 || pred.SpeedupVsDDR < actualSpeedup/1.6 {
+		t.Errorf("predicted %vx vs actual %vx: outside the screening band", pred.SpeedupVsDDR, actualSpeedup)
+	}
+}
+
+func TestReplayRanksBudgetsLikeReality(t *testing.T) {
+	w, m, profRun := profileApp(t, "hpcg")
+	budgets := []int64{32 * units.MB, 128 * units.MB, 256 * units.MB}
+	var reports []*advisor.Report
+	for _, b := range budgets {
+		reports = append(reports, adviseBudget(t, profRun, b))
+	}
+	order, preds, err := RankPlacements(profRun.Trace, reports, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HPCG gains grow with budget: the predictor must rank 256 > 128 > 32.
+	if order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("predicted order = %v (speedups %v, %v, %v), want [2 1 0]",
+			order, preds[0].SpeedupVsDDR, preds[1].SpeedupVsDDR, preds[2].SpeedupVsDDR)
+	}
+	_ = w
+}
+
+func TestReplayStaticPlacementPredictsNothing(t *testing.T) {
+	_, m, profRun := profileApp(t, "snap")
+	// A report that selects only a static object: the interposer can
+	// move nothing, so prediction must be ~1x.
+	rep := &advisor.Report{App: "snap", Budget: 256 * units.MB, Entries: []advisor.Entry{
+		{Tier: "MCDRAM", ID: "static:geom.statics", Static: true, Size: 600 * units.MB},
+	}}
+	pred, err := Replay(profRun.Trace, rep, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.MovedMissFraction != 0 {
+		t.Fatalf("static-only selection moved %v of misses", pred.MovedMissFraction)
+	}
+	if pred.SpeedupVsDDR < 0.99 || pred.SpeedupVsDDR > 1.01 {
+		t.Fatalf("static-only speedup = %v, want ~1", pred.SpeedupVsDDR)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	_, m, profRun := profileApp(t, "cgpop")
+	if _, err := Replay(nil, &advisor.Report{}, m); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := Replay(profRun.Trace, nil, m); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	bad := m
+	bad.Cores = 0
+	if _, err := Replay(profRun.Trace, &advisor.Report{}, bad); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}
+
+func TestReplayPhaseSpeedups(t *testing.T) {
+	_, m, profRun := profileApp(t, "snap")
+	rep := adviseBudget(t, profRun, 64*units.MB)
+	pred, err := Replay(profRun.Trace, rep, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep phases (whose chunks are promoted) must be predicted
+	// faster; outer_src_calc (stack-bound) must not improve much.
+	oct, ok1 := pred.PhaseSpeedups["octsweep"]
+	outer, ok2 := pred.PhaseSpeedups["outer_src_calc"]
+	if !ok1 || !ok2 {
+		t.Fatalf("phase speedups missing: %v", pred.PhaseSpeedups)
+	}
+	if oct <= outer {
+		t.Errorf("octsweep speedup (%v) should exceed outer_src_calc (%v): stack not movable", oct, outer)
+	}
+}

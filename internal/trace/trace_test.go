@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/callstack"
+	"repro/internal/units"
+)
+
+func sampleTrace() *Trace {
+	t := New("hpcg")
+	t.Meta["period"] = "37589"
+	t.Meta["weird\tkey"] = "line\nbreak"
+	t.Append(Record{Time: 10, Type: EvPhaseBegin, Routine: "main"})
+	t.Append(Record{Time: 20, Type: EvAlloc, Addr: 0x1000, Size: 4096, Site: callstack.Key("a.out!main+0x10;libc!malloc+0x0")})
+	t.Append(Record{Time: 30, Type: EvSample, Addr: 0x1040, Routine: "spmv", Counter: 1234})
+	t.Append(Record{Time: 40, Type: EvRealloc, Addr: 0x2000, Aux: 0x1000, Size: 8192, Site: callstack.Key("k")})
+	t.Append(Record{Time: 50, Type: EvFree, Addr: 0x2000})
+	t.Append(Record{Time: 60, Type: EvStatic, Addr: 0x9000, Size: 100, Routine: "grid"})
+	t.Append(Record{Time: 70, Type: EvPhaseEnd, Routine: "main"})
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != orig.App {
+		t.Fatalf("app = %q, want %q", got.App, orig.App)
+	}
+	if !reflect.DeepEqual(got.Meta, orig.Meta) {
+		t.Fatalf("meta = %v, want %v", got.Meta, orig.Meta)
+	}
+	if !reflect.DeepEqual(got.Records, orig.Records) {
+		t.Fatalf("records differ:\n got %+v\nwant %+v", got.Records, orig.Records)
+	}
+}
+
+func TestRoundTripPropertyRandomRecords(t *testing.T) {
+	f := func(time int64, addr, aux uint64, size, ctr int64, site, routine string) bool {
+		tr := New("q")
+		tr.Append(Record{
+			Time: units.Cycles(time), Type: EvAlloc, Addr: addr, Aux: aux,
+			Size: size, Counter: ctr, Site: callstack.Key(site), Routine: routine,
+		})
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Records, tr.Records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "hello\n",
+		"short fields": "#PRV2\tx\n1\tALLOC\t2\n",
+		"bad time":     "#PRV2\tx\nzz\tALLOC\t0\t0\t0\t0\ts\tr\n",
+		"bad type":     "#PRV2\tx\n1\tBOGUS\t0\t0\t0\t0\ts\tr\n",
+		"bad addr":     "#PRV2\tx\n1\tALLOC\tqq\t0\t0\t0\ts\tr\n",
+		"bad aux":      "#PRV2\tx\n1\tALLOC\t0\tqq\t0\t0\ts\tr\n",
+		"bad size":     "#PRV2\tx\n1\tALLOC\t0\t0\tqq\t0\ts\tr\n",
+		"bad counter":  "#PRV2\tx\n1\tALLOC\t0\t0\t0\tqq\ts\tr\n",
+		"short meta":   "#PRV2\tx\n#META\tonly\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read succeeded, want error", name)
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := "#PRV2\tx\n\n1\tFREE\t16\t0\t0\t0\t\t\n\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || tr.Records[0].Type != EvFree {
+		t.Fatalf("records = %+v", tr.Records)
+	}
+}
+
+func TestCountType(t *testing.T) {
+	tr := sampleTrace()
+	if n := tr.CountType(EvSample); n != 1 {
+		t.Errorf("samples = %d, want 1", n)
+	}
+	if n := tr.CountType(EvAlloc); n != 1 {
+		t.Errorf("allocs = %d, want 1", n)
+	}
+}
+
+func TestSortByTimeStable(t *testing.T) {
+	tr := New("x")
+	tr.Append(Record{Time: 5, Type: EvFree, Addr: 1})
+	tr.Append(Record{Time: 3, Type: EvAlloc, Addr: 2})
+	tr.Append(Record{Time: 5, Type: EvAlloc, Addr: 3})
+	tr.SortByTime()
+	if tr.Records[0].Addr != 2 || tr.Records[1].Addr != 1 || tr.Records[2].Addr != 3 {
+		t.Fatalf("sort order wrong: %+v", tr.Records)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EvAlloc.String() != "ALLOC" || EventType(99).String() != "event(99)" {
+		t.Fatal("EventType.String wrong")
+	}
+}

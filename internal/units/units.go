@@ -1,0 +1,63 @@
+// Package units centralizes byte-size and simulated-time units so that
+// tier capacities, placement budgets and cost-model constants read the
+// same way they do in the paper (MBytes of MCDRAM per rank, GB/s of
+// bandwidth, cycles at 1.40 GHz).
+package units
+
+import "fmt"
+
+// Byte sizes.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// PageSize is the placement granularity of the simulated machine,
+// matching the 4 KiB pages used by hmem_advisor's knapsack.
+const PageSize int64 = 4 * KB
+
+// Cycles counts simulated processor cycles.
+type Cycles int64
+
+// DefaultClockHz is the simulated clock: an Intel Xeon Phi 7250 at
+// 1.40 GHz, as used throughout the paper's evaluation.
+const DefaultClockHz float64 = 1.40e9
+
+// Seconds converts a cycle count to seconds at the given clock.
+func (c Cycles) Seconds(clockHz float64) float64 {
+	return float64(c) / clockHz
+}
+
+// Micros converts a cycle count to microseconds at the given clock.
+func (c Cycles) Micros(clockHz float64) float64 {
+	return c.Seconds(clockHz) * 1e6
+}
+
+// PagesFor returns how many whole pages are needed to hold size bytes.
+func PagesFor(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (size + PageSize - 1) / PageSize
+}
+
+// PageAlign rounds size up to a whole number of pages.
+func PageAlign(size int64) int64 {
+	return PagesFor(size) * PageSize
+}
+
+// HumanBytes renders a byte count the way the paper's plots label axes
+// (e.g. "256 MB", "16 GB").
+func HumanBytes(n int64) string {
+	switch {
+	case n >= GB && n%GB == 0:
+		return fmt.Sprintf("%d GB", n/GB)
+	case n >= MB && n%MB == 0:
+		return fmt.Sprintf("%d MB", n/MB)
+	case n >= KB && n%KB == 0:
+		return fmt.Sprintf("%d KB", n/KB)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,59 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct {
+		size int64
+		want int64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {PageSize, 1}, {PageSize + 1, 2},
+		{2 * PageSize, 2}, {MB, MB / PageSize},
+	}
+	for _, c := range cases {
+		if got := PagesFor(c.size); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestPageAlignProperty(t *testing.T) {
+	f := func(raw int64) bool {
+		size := raw % (64 * MB)
+		if size < 0 {
+			size = -size
+		}
+		a := PageAlign(size)
+		return a >= size && a%PageSize == 0 && a-size < PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclesSeconds(t *testing.T) {
+	c := Cycles(1.4e9)
+	if s := c.Seconds(DefaultClockHz); s < 0.999 || s > 1.001 {
+		t.Fatalf("1.4e9 cycles at 1.4GHz = %v s, want 1", s)
+	}
+	if us := Cycles(1400).Micros(DefaultClockHz); us < 0.999 || us > 1.001 {
+		t.Fatalf("1400 cycles = %v us, want 1", us)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		256 * MB: "256 MB",
+		16 * GB:  "16 GB",
+		4 * KB:   "4 KB",
+		123:      "123 B",
+	}
+	for n, want := range cases {
+		if got := HumanBytes(n); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package hybridmem
+
+// This file asserts the paper's QUALITATIVE evaluation results
+// (Section IV / Figure 4 / Figure 5 / Figure 1): who wins per
+// application, where usage plateaus, where strategies diverge, and
+// where the efficiency sweet spots fall. These are the reproduction's
+// guardrails: if a cost-model or workload change breaks one of the
+// paper's findings, a test here fails.
+
+import (
+	"testing"
+)
+
+// runAll executes the standard comparison set for one workload: the
+// four baselines plus the framework at the largest budget under both
+// strategy families.
+type comparison struct {
+	ddr, numactl, autohbw, cache *RunResult
+	density, misses              *RunResult
+	densityRep, missesRep        *PlacementReport
+}
+
+func compare(t *testing.T, name string, budget int64) *comparison {
+	t.Helper()
+	w, err := WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MachineFor(w)
+	cfg := ExecuteConfig{Machine: m, Seed: 21}
+	c := &comparison{}
+	if c.ddr, err = RunBaseline(w, BaselineDDR, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c.numactl, err = RunBaseline(w, BaselineNumactl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c.autohbw, err = RunBaseline(w, BaselineAutoHBW, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c.cache, err = RunBaseline(w, BaselineCacheMode, cfg); err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Pipeline(w, PipelineConfig{Machine: m, Seed: 21, Budget: budget, Strategy: StrategyDensity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.density, c.densityRep = pd.Run, pd.Report
+	pm, err := Pipeline(w, PipelineConfig{Machine: m, Seed: 21, Budget: budget, Strategy: StrategyMisses(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.misses, c.missesRep = pm.Run, pm.Report
+	return c
+}
+
+func (c *comparison) bestFramework() float64 {
+	if c.density.FOM > c.misses.FOM {
+		return c.density.FOM
+	}
+	return c.misses.FOM
+}
+
+// --- Framework wins: HPCG, miniFE, GTC-P (Section IV.C.a) ---
+
+func TestHPCGFrameworkWins(t *testing.T) {
+	c := compare(t, "hpcg", 256*MB)
+	fw := c.bestFramework()
+	if fw <= c.cache.FOM {
+		t.Errorf("framework (%v) should beat cache mode (%v)", fw, c.cache.FOM)
+	}
+	if fw <= c.numactl.FOM || fw <= c.autohbw.FOM || fw <= c.ddr.FOM {
+		t.Errorf("framework (%v) should beat numactl (%v), autohbw (%v), ddr (%v)",
+			fw, c.numactl.FOM, c.autohbw.FOM, c.ddr.FOM)
+	}
+	// Paper: +78.88% over DDR at the best configuration; require a
+	// substantial gain of the same order.
+	if ImprovementPct(fw, c.ddr.FOM) < 40 {
+		t.Errorf("HPCG framework gain = %.1f%%, want substantial (paper: +78.9%%)",
+			ImprovementPct(fw, c.ddr.FOM))
+	}
+	// Cache mode is the second-best family for HPCG.
+	if c.cache.FOM <= c.numactl.FOM {
+		t.Errorf("cache (%v) should beat numactl (%v) on HPCG", c.cache.FOM, c.numactl.FOM)
+	}
+}
+
+func TestMiniFEFrameworkWinsAndPlateaus(t *testing.T) {
+	c := compare(t, "minife", 256*MB)
+	fw := c.bestFramework()
+	for label, base := range map[string]float64{
+		"cache": c.cache.FOM, "numactl": c.numactl.FOM, "autohbw": c.autohbw.FOM, "ddr": c.ddr.FOM,
+	} {
+		if fw <= base {
+			t.Errorf("miniFE framework (%v) should beat %s (%v)", fw, label, base)
+		}
+	}
+	// Paper Fig. 4k: miniFE only ever uses ~80 MB of fast memory (the
+	// four CG vectors), even with a 256 MB budget.
+	if hwm := c.misses.HBWHWM; hwm < 70*MB || hwm > 100*MB {
+		t.Errorf("miniFE HWM = %d MB, want the ~80 MB vector plateau", hwm/MB)
+	}
+}
+
+func TestGTCPFrameworkWins(t *testing.T) {
+	c := compare(t, "gtc-p", 256*MB)
+	fw := c.bestFramework()
+	for label, base := range map[string]float64{
+		"cache": c.cache.FOM, "numactl": c.numactl.FOM, "autohbw": c.autohbw.FOM, "ddr": c.ddr.FOM,
+	} {
+		if fw <= base {
+			t.Errorf("GTC-P framework (%v) should beat %s (%v)", fw, label, base)
+		}
+	}
+	// Density is at least as good as Misses(0%) for GTC-P (paper:
+	// density behaves better).
+	if c.density.FOM < c.misses.FOM*0.98 {
+		t.Errorf("GTC-P density (%v) should not trail misses (%v)", c.density.FOM, c.misses.FOM)
+	}
+}
+
+// --- Cache mode wins: Lulesh, MAXW-DGTD (Section IV.C.a) ---
+
+func TestLuleshCacheWinsAndAutoHBWLoses(t *testing.T) {
+	c := compare(t, "lulesh", 256*MB)
+	fw := c.bestFramework()
+	if c.cache.FOM <= fw {
+		t.Errorf("Lulesh cache (%v) should beat the framework (%v)", c.cache.FOM, fw)
+	}
+	if c.cache.FOM <= c.numactl.FOM {
+		t.Errorf("Lulesh cache (%v) should beat numactl (%v)", c.cache.FOM, c.numactl.FOM)
+	}
+	// Paper: autohbw DECREASES Lulesh performance by 8% (non-critical
+	// promotion + expensive 1-2 MB memkind allocations).
+	if c.autohbw.FOM >= c.ddr.FOM {
+		t.Errorf("Lulesh autohbw (%v) should regress below DDR (%v)", c.autohbw.FOM, c.ddr.FOM)
+	}
+	// The framework still helps substantially over DDR.
+	if fw <= c.ddr.FOM {
+		t.Errorf("Lulesh framework (%v) should beat DDR (%v)", fw, c.ddr.FOM)
+	}
+}
+
+func TestMAXWDGTDCacheWins(t *testing.T) {
+	c := compare(t, "maxw-dgtd", 256*MB)
+	fw := c.bestFramework()
+	if c.cache.FOM <= fw {
+		t.Errorf("MAXW-DGTD cache (%v) should beat the framework (%v)", c.cache.FOM, fw)
+	}
+	if fw <= c.numactl.FOM {
+		t.Errorf("MAXW-DGTD framework (%v) should beat numactl (%v)", fw, c.numactl.FOM)
+	}
+}
+
+// --- numactl wins: BT, CGPOP, SNAP (Section IV.C.a) ---
+
+func TestBTNumactlWins(t *testing.T) {
+	c := compare(t, "bt", 16*GB)
+	fw := c.bestFramework()
+	if c.numactl.FOM <= fw {
+		t.Errorf("BT numactl (%v) should edge out the framework (%v)", c.numactl.FOM, fw)
+	}
+	if c.numactl.FOM <= c.cache.FOM {
+		t.Errorf("BT numactl (%v) should beat cache (%v)", c.numactl.FOM, c.cache.FOM)
+	}
+	// At 16 GB the framework approaches numactl (all dynamics placed;
+	// only the statics are missing).
+	if fw < c.numactl.FOM*0.7 {
+		t.Errorf("BT framework (%v) should be close to numactl (%v)", fw, c.numactl.FOM)
+	}
+}
+
+func TestCGPOPNumactlWinsAndFlat(t *testing.T) {
+	c := compare(t, "cgpop", 256*MB)
+	fw := c.bestFramework()
+	if c.numactl.FOM <= fw {
+		t.Errorf("CGPOP numactl (%v) should edge out the framework (%v)", c.numactl.FOM, fw)
+	}
+	// The converted hot arrays fit even 32 MB: performance is flat
+	// across the budget sweep.
+	w, _ := WorkloadByName("cgpop")
+	m := MachineFor(w)
+	small, err := Pipeline(w, PipelineConfig{Machine: m, Seed: 21, Budget: 32 * MB, Strategy: StrategyMisses(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := small.Run.FOM / c.misses.FOM
+	if ratio < 0.9 {
+		t.Errorf("CGPOP 32 MB (%v) should match 256 MB (%v): flat sweep", small.Run.FOM, c.misses.FOM)
+	}
+}
+
+func TestSNAPNumactlWinsViaStack(t *testing.T) {
+	c := compare(t, "snap", 256*MB)
+	fw := c.bestFramework()
+	if c.numactl.FOM <= fw {
+		t.Errorf("SNAP numactl (%v) should beat the framework (%v)", c.numactl.FOM, fw)
+	}
+	if c.numactl.FOM <= c.cache.FOM {
+		t.Errorf("SNAP numactl (%v) should marginally beat cache (%v)", c.numactl.FOM, c.cache.FOM)
+	}
+	if c.cache.FOM <= fw {
+		t.Errorf("SNAP cache (%v) should beat the framework (%v)", c.cache.FOM, fw)
+	}
+}
+
+// TestSNAPDensityStrandsLargeBuffer asserts Fig. 4q: with 128/256 MB
+// budgets the density strategy promotes only the ~64 MB of small
+// chunks, because after them the 240 MB flux buffer no longer fits;
+// Misses(0%) at 256 MB packs the flux buffer instead.
+func TestSNAPDensityStrandsLargeBuffer(t *testing.T) {
+	w, _ := WorkloadByName("snap")
+	m := MachineFor(w)
+	for _, budget := range []int64{128 * MB, 256 * MB} {
+		pr, err := Pipeline(w, PipelineConfig{Machine: m, Seed: 21, Budget: budget, Strategy: StrategyDensity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hwm := pr.Run.HBWHWM; hwm > 80*MB {
+			t.Errorf("density @%d MB used %d MB, want the ~64 MB chunk plateau", budget/MB, hwm/MB)
+		}
+	}
+	pm, err := Pipeline(w, PipelineConfig{Machine: m, Seed: 21, Budget: 256 * MB, Strategy: StrategyMisses(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwm := pm.Run.HBWHWM; hwm < 200*MB {
+		t.Errorf("misses(0%%) @256 MB used %d MB, want the flux buffer packed (~256 MB)", hwm/MB)
+	}
+}
+
+// --- Lulesh advisor mislead and the 512 MB trick (Section IV.C.a) ---
+
+// TestLuleshAdvisorOverBudgetTrick reproduces the paper's workaround:
+// advising hmem_advisor it has MORE memory (512 MB) than auto-hbwmalloc
+// will enforce (256 MB) improves Lulesh, because the advisor's
+// whole-run liveness assumption otherwise under-fills the budget.
+func TestLuleshAdvisorOverBudgetTrick(t *testing.T) {
+	w, _ := WorkloadByName("lulesh")
+	m := MachineFor(w)
+	normal, err := Pipeline(w, PipelineConfig{Machine: m, Seed: 21, Budget: 256 * MB, Strategy: StrategyDensity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trick, err := Pipeline(w, PipelineConfig{
+		Machine: m, Seed: 21, Budget: 512 * MB, Strategy: StrategyDensity,
+		Interpose: InterposeOptions{BudgetOverride: 256 * MB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trick.Run.HBWHWM > 256*MB {
+		t.Fatalf("override not enforced: HWM = %d MB", trick.Run.HBWHWM/MB)
+	}
+	if trick.Run.FOM <= normal.Run.FOM {
+		t.Errorf("512-advise/256-enforce (%v) should beat plain 256 (%v)", trick.Run.FOM, normal.Run.FOM)
+	}
+}
+
+// TestLuleshTimeAwareAdvising verifies the Section III refinement the
+// paper proposes (using the trace's time-varying address space): the
+// liveness-aware advisor fits the phase-disjoint temporaries plus more
+// persistent arrays into the same budget, matching or beating the
+// manual 512-advise/256-enforce workaround.
+func TestLuleshTimeAwareAdvising(t *testing.T) {
+	w, _ := WorkloadByName("lulesh")
+	m := MachineFor(w)
+	plain, err := Pipeline(w, PipelineConfig{Machine: m, Seed: 21, Budget: 256 * MB, Strategy: StrategyDensity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeAware, err := Pipeline(w, PipelineConfig{
+		Machine: m, Seed: 21, Budget: 256 * MB, Strategy: StrategyDensity, TimeAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timeAware.Run.HBWHWM > 256*MB {
+		t.Fatalf("time-aware run exceeded budget: %d MB", timeAware.Run.HBWHWM/MB)
+	}
+	if timeAware.Run.FOM <= plain.Run.FOM {
+		t.Errorf("time-aware (%v) should beat whole-run-liveness advising (%v)",
+			timeAware.Run.FOM, plain.Run.FOM)
+	}
+	// It should select MORE objects than the sum-constrained pack.
+	if len(timeAware.Report.Entries) <= len(plain.Report.Entries) {
+		t.Errorf("time-aware selected %d objects vs plain %d, expected more",
+			len(timeAware.Report.Entries), len(plain.Report.Entries))
+	}
+}
+
+// --- Figure 1: STREAM bandwidth shape ---
+
+func TestFigure1StreamShape(t *testing.T) {
+	w := StreamWorkload()
+	node := DefaultKNL()
+	bw := func(b Baseline, cores int) float64 {
+		res, err := RunBaseline(w, b, ExecuteConfig{Machine: node, Cores: cores, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FOM
+	}
+	ddr1, ddr16, ddr68 := bw(BaselineDDR, 1), bw(BaselineDDR, 16), bw(BaselineDDR, 68)
+	flat68 := bw(BaselineNumactl, 68)
+	cache68 := bw(BaselineCacheMode, 68)
+	// DDR saturates: 16 cores within 15% of 68 cores.
+	if ddr16 < ddr68*0.85 {
+		t.Errorf("DDR not saturated by 16 cores: %v vs %v", ddr16, ddr68)
+	}
+	if ddr68 < 70 || ddr68 > 110 {
+		t.Errorf("DDR peak = %v GB/s, want ~90", ddr68)
+	}
+	// MCDRAM flat is several times DDR at full cores.
+	if flat68 < 3*ddr68 {
+		t.Errorf("MCDRAM flat (%v) should be >= 3x DDR (%v)", flat68, ddr68)
+	}
+	// Cache mode lands between DDR and flat.
+	if cache68 <= ddr68 || cache68 >= flat68 {
+		t.Errorf("cache mode (%v) should sit between DDR (%v) and flat (%v)", cache68, ddr68, flat68)
+	}
+	// Single-core bandwidth is latency-limited, far below peak.
+	if ddr1 > ddr68/3 {
+		t.Errorf("single-core DDR (%v) should be far below peak (%v)", ddr1, ddr68)
+	}
+}
+
+// --- Figure 5: SNAP folded timeline ---
+
+func TestFigure5SNAPFoldedDip(t *testing.T) {
+	w, _ := WorkloadByName("snap")
+	m := MachineFor(w)
+	pr, err := Pipeline(w, PipelineConfig{
+		Machine: m, Seed: 31, Budget: 256 * MB, Strategy: StrategyMisses(0),
+		SamplePeriod: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := ProfileWithPolicy(w, ProfileConfig{Machine: m, Seed: 33, SamplePeriod: 600}, pr.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Fold(tr, 48, m.ClockHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Iterations != 12 {
+		t.Fatalf("folded %d iterations, want 12", f.Iterations)
+	}
+	// The MIPS rate must collapse during outer_src_calc (stack spills
+	// on DDR) relative to the sweep phases.
+	minOuter, _, ok := f.MinMIPSIn("outer_src_calc")
+	if !ok {
+		t.Fatal("outer_src_calc not in folded spans")
+	}
+	if max := f.GlobalMaxMIPS(); minOuter > max*0.4 {
+		t.Errorf("outer_src_calc MIPS (%v) should dip well below peak (%v)", minOuter, max)
+	}
+}
+
+// --- ΔFOM/MByte sweet spots (Section IV.C.c) ---
+
+func TestSweetSpots(t *testing.T) {
+	// Lulesh, CGPOP, SNAP and GTC-P maximize fast-memory efficiency at
+	// the smallest budget (32 MB per process).
+	for _, name := range []string{"cgpop", "snap", "gtc-p"} {
+		w, _ := WorkloadByName(name)
+		m := MachineFor(w)
+		ddr, err := RunBaseline(w, BaselineDDR, ExecuteConfig{Machine: m, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var foms []float64
+		budgets := BudgetsFor(w)
+		for _, b := range budgets {
+			pr, err := Pipeline(w, PipelineConfig{Machine: m, Seed: 21, Budget: b, Strategy: StrategyDensity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			foms = append(foms, pr.Run.FOM)
+		}
+		best := -1
+		bestVal := 0.0
+		for i := range foms {
+			d := DeltaFOMPerMB(foms[i], ddr.FOM, budgets[i])
+			if best == -1 || d > bestVal {
+				best, bestVal = i, d
+			}
+		}
+		if best != 0 {
+			t.Errorf("%s: sweet spot at budget %d MB, paper puts it at 32 MB", name, budgets[best]/MB)
+		}
+	}
+}
