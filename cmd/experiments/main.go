@@ -6,10 +6,12 @@
 //	experiments -table 1    application characteristics (Table I)
 //	experiments -fig 4      per-app FOM / HWM / ΔFOM-per-MB grids (Figure 4)
 //	experiments -fig 5      SNAP folded timeline (Figure 5)
+//	experiments -online     static advisor vs online adaptive placement
 //	experiments -all        everything, in paper order
 //
-// Use -app to restrict Figure 4 to one application and -scale to
-// shrink the simulated access volume for quick runs.
+// Use -app to restrict Figure 4 and the -online table to one
+// application and -scale to shrink the simulated access volume for
+// quick runs.
 package main
 
 import (
@@ -27,10 +29,16 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 3, 4, 5)")
 	table := flag.Int("table", 0, "table to regenerate (1)")
+	onl := flag.Bool("online", false, "compare static advisor vs online adaptive placement")
 	all := flag.Bool("all", false, "regenerate everything")
-	app := flag.String("app", "", "restrict -fig 4 to one application")
+	app := flag.String("app", "", "restrict -fig 4 and -online to one application")
 	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
 	flag.Parse()
+
+	if *app != "" {
+		_, err := hm.WorkloadByName(*app)
+		check(err)
+	}
 
 	any := false
 	if *all || *fig == 1 {
@@ -51,6 +59,10 @@ func main() {
 	}
 	if *all || *fig == 5 {
 		figure5(*scale)
+		any = true
+	}
+	if *all || *onl {
+		onlineTable(*app, *scale)
 		any = true
 	}
 	if !any {
@@ -138,11 +150,16 @@ type fig4Row struct {
 
 // figure4 reproduces the per-application placement comparison.
 func figure4(only string, scale float64) {
+	matched := false
 	for _, w := range hm.Workloads() {
 		if only != "" && w.Name != only {
 			continue
 		}
 		figure4App(w, scale)
+		matched = true
+	}
+	if only != "" && !matched {
+		fmt.Printf("fig 4: %q is not a Table I workload (phaseshift appears in -online only)\n", only)
 	}
 }
 
@@ -208,6 +225,60 @@ func figure4App(w *hm.Workload, scale float64) {
 func scaled(cfg hm.ExecuteConfig, scale float64) hm.ExecuteConfig {
 	cfg.RefScale = scale
 	return cfg
+}
+
+// onlineTable compares the offline framework against the online
+// adaptive placer (epoch-driven re-advising with live migration) at
+// the same per-rank budget, with cache mode as the hardware-adaptive
+// reference. The phaseshift workload is the one whose hot set moves;
+// on the stable Table I applications the online gate should keep
+// migration traffic at (or near) zero.
+func onlineTable(only string, scale float64) {
+	header("Online adaptive placement: static advisor vs online vs cache")
+	if scale < 1 {
+		// Scaling shrinks access volume (and thus predicted gain) but
+		// not the bytes a migration must move, so the gate rightly
+		// refuses moves that a full-length run would amortize.
+		fmt.Printf("note: -scale %g shortens the run; migration amortizes less and the online placer moves less than at full scale\n", scale)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tbudget\tDDR\tstatic\tonline\tcache\tepochs\tmigrated MB\tonline vs static")
+	names := []string{"phaseshift"}
+	for _, w := range hm.Workloads() {
+		names = append(names, w.Name)
+	}
+	for _, name := range names {
+		if only != "" && name != only {
+			continue
+		}
+		w, err := hm.WorkloadByName(name)
+		check(err)
+		m := hm.MachineFor(w)
+		budget := 16 * units.MB // phaseshift: one rotating group
+		if name != "phaseshift" {
+			budgets := hm.BudgetsFor(w)
+			budget = budgets[len(budgets)-1]
+		}
+		cfg := hm.ExecuteConfig{Machine: m, Seed: 21, RefScale: scale}
+		ddr, err := hm.RunBaseline(w, hm.BaselineDDR, cfg)
+		check(err)
+		cache, err := hm.RunBaseline(w, hm.BaselineCacheMode, cfg)
+		check(err)
+		pr, err := hm.Pipeline(w, hm.PipelineConfig{
+			Machine: m, Seed: 21, Budget: budget,
+			Strategy: hm.StrategyMisses(0), RefScale: scale,
+		})
+		check(err)
+		onl, err := hm.RunOnline(w, hm.OnlineConfig{
+			Machine: m, Seed: 21, RefScale: scale, Budget: budget,
+		})
+		check(err)
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%d\t%d\t%+.1f%%\n",
+			name, units.HumanBytes(budget), ddr.FOM, pr.Run.FOM, onl.FOM, cache.FOM,
+			onl.Epochs, onl.MigratedBytes/units.MB,
+			hm.ImprovementPct(onl.FOM, pr.Run.FOM))
+	}
+	tw.Flush()
 }
 
 // figure5 reproduces the SNAP folded timeline.

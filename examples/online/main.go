@@ -1,0 +1,107 @@
+// Online: the paper's Section V future work made concrete — compare
+// the offline framework (profile once, advise once, execute once)
+// against the online adaptive placer (epoch-driven re-advising with
+// live tier migration) and MCDRAM cache mode, across the Table I
+// workloads and the phase-shifting adversary.
+//
+// Expected shape of the results:
+//
+//   - phaseshift @ one-group budget: the hot set rotates between
+//     object groups, so any one-shot placement serves at most one
+//     slot from fast memory; the online placer follows the rotation
+//     (three migrating epochs) and beats every software placement at
+//     the same budget. Cache mode, which adapts per access and spends
+//     the whole MCDRAM tier rather than a budget, remains the
+//     hardware reference — the paper's Lulesh lesson generalized.
+//
+//   - phaseshift @ everything-fits budget: adaptivity buys nothing;
+//     the profile-guided framework places all groups before first
+//     touch and wins.
+//
+//   - stable Table I apps (e.g. hpcg): the hot set never moves, so
+//     the hysteresis gate keeps migration traffic at zero. In this
+//     scaled simulation a mid-run bulk move cannot amortize, so the
+//     online run tracks DDR (minus interposition overhead) while the
+//     profile-guided framework keeps its edge.
+//
+//     go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	hm "repro"
+)
+
+func main() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tbudget MB\tDDR\tstatic\tonline\tcache\tmigrated MB\twinner")
+
+	type job struct {
+		name   string
+		budget int64
+	}
+	jobs := []job{
+		// The adversary at two budgets: one rotating group (adaptivity
+		// required) and everything-fits (adaptivity unnecessary).
+		{"phaseshift", 16 * hm.MB},
+		{"phaseshift", 64 * hm.MB},
+	}
+	for _, w := range hm.Workloads() {
+		budgets := hm.BudgetsFor(w)
+		jobs = append(jobs, job{w.Name, budgets[len(budgets)-1]})
+	}
+
+	for _, j := range jobs {
+		w, err := hm.WorkloadByName(j.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := hm.MachineFor(w)
+		cfg := hm.ExecuteConfig{Machine: m, Seed: 21}
+
+		ddr, err := hm.RunBaseline(w, hm.BaselineDDR, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache, err := hm.RunBaseline(w, hm.BaselineCacheMode, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr, err := hm.Pipeline(w, hm.PipelineConfig{
+			Machine: m, Seed: 21, Budget: j.budget, Strategy: hm.StrategyMisses(0),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		onl, err := hm.RunOnline(w, hm.OnlineConfig{Machine: m, Seed: 21, Budget: j.budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		winner, top := "ddr", ddr.FOM
+		for _, c := range []struct {
+			name string
+			fom  float64
+		}{
+			{"static", pr.Run.FOM}, {"online", onl.FOM}, {"cache", cache.FOM},
+		} {
+			if c.fom > top {
+				winner, top = c.name, c.fom
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%d\t%s\n",
+			j.name, j.budget/hm.MB, ddr.FOM, pr.Run.FOM, onl.FOM, cache.FOM,
+			onl.MigratedBytes/hm.MB, winner)
+	}
+	tw.Flush()
+
+	fmt.Println("\nphaseshift @16MB is the online subsystem's home turf: the static")
+	fmt.Println("advisor funds one rotation slot, the online placer funds them all,")
+	fmt.Println("three migrating epochs apart. On stable workloads the hysteresis")
+	fmt.Println("gate refuses unamortizable moves and migration traffic stays zero;")
+	fmt.Println("when everything fits the budget, profiling ahead of time wins.")
+}

@@ -21,7 +21,17 @@
 // The package also ships the paper's baselines (DDR, numactl -p 1,
 // autohbw, MCDRAM cache mode), the eight Table I workload analogs plus
 // STREAM, the Folding analysis of Figure 5, and the ΔFOM/MByte metric
-// of Equation 1. See DESIGN.md for the full system inventory and
+// of Equation 1.
+//
+// Beyond the paper's offline pipeline, the library implements Section
+// V's dynamic-placement future work as an online subsystem (RunOnline,
+// BaselineOnline, internal/online): the run is sliced into epochs, an
+// in-run PEBS monitor feeds an exponential-decay aggregator, the
+// knapsack is re-solved against the live footprint at every boundary,
+// and objects migrate between DDR and MCDRAM mid-run when a
+// hysteresis gate finds the predicted gain worth the move traffic.
+// The "phaseshift" workload is the scenario where this beats every
+// one-shot placement. See DESIGN.md for the full system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package hybridmem
 
@@ -37,6 +47,7 @@ import (
 	"repro/internal/interpose"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/online"
 	"repro/internal/paramedir"
 	"repro/internal/predict"
 	"repro/internal/trace"
@@ -127,8 +138,10 @@ func CacheModeMachine(m Machine) Machine { return mem.WithCacheMode(m) }
 // Workloads returns the eight Table I application analogs.
 func Workloads() []*Workload { return apps.Catalog() }
 
-// WorkloadByName builds one Table I workload ("hpcg", "lulesh", "bt",
-// "minife", "cgpop", "snap", "maxw-dgtd", "gtc-p").
+// WorkloadByName builds one registered workload: a Table I analog
+// ("hpcg", "lulesh", "bt", "minife", "cgpop", "snap", "maxw-dgtd",
+// "gtc-p") or the phase-shifting online-placement adversary
+// ("phaseshift").
 func WorkloadByName(name string) (*Workload, error) { return apps.ByName(name) }
 
 // WorkloadNames lists the registered workload names.
@@ -255,8 +268,9 @@ type ProfileConfig struct {
 // repository's runs are scaled to a few million references, so the
 // period is scaled by the same factor to preserve the paper's
 // samples-per-process range (thousands — Table I) and its statistical
-// attribution quality.
-const DefaultScaledPeriod = 1499
+// attribution quality. The online subsystem's in-run monitor uses the
+// same period (it is an alias of online.DefaultSamplePeriod).
+const DefaultScaledPeriod = online.DefaultSamplePeriod
 
 func (c *ProfileConfig) fill() {
 	if c.SamplePeriod == 0 {
@@ -359,7 +373,7 @@ func Execute(w *Workload, rep *PlacementReport, opts InterposeOptions, cfg Execu
 // Baseline identifies one of the paper's comparison placements.
 type Baseline uint8
 
-// The four Figure 4 reference placements.
+// The four Figure 4 reference placements plus the online placer.
 const (
 	// BaselineDDR places everything in regular memory.
 	BaselineDDR Baseline = iota
@@ -370,6 +384,10 @@ const (
 	BaselineAutoHBW
 	// BaselineCacheMode configures MCDRAM as a memory-side cache.
 	BaselineCacheMode
+	// BaselineOnline is the epoch-driven adaptive placer of
+	// internal/online, given the machine's whole MCDRAM tier as its
+	// budget (use RunOnline to sweep budgets and tuning knobs).
+	BaselineOnline
 )
 
 // String implements fmt.Stringer.
@@ -383,6 +401,8 @@ func (b Baseline) String() string {
 		return "autohbw/1m"
 	case BaselineCacheMode:
 		return "cache"
+	case BaselineOnline:
+		return "online"
 	default:
 		return fmt.Sprintf("baseline(%d)", uint8(b))
 	}
@@ -407,10 +427,82 @@ func RunBaseline(w *Workload, b Baseline, cfg ExecuteConfig) (*RunResult, error)
 	case BaselineCacheMode:
 		ec.Machine = mem.WithCacheMode(cfg.Machine)
 		ec.MakePolicy = baseline.DDR()
+	case BaselineOnline:
+		return RunOnline(w, OnlineConfig{
+			Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
+			RefScale: cfg.RefScale,
+		})
 	default:
 		return nil, fmt.Errorf("hybridmem: unknown baseline %v", b)
 	}
 	return engine.Run(w, ec)
+}
+
+// OnlineConfig parameterizes a run under the online adaptive placer —
+// the dynamic data placement of Section V's future work: no profiling
+// stage, no advisor report; the run monitors itself, re-solves the
+// knapsack at epoch boundaries, and migrates objects between tiers
+// when the predicted gain beats the move cost.
+type OnlineConfig struct {
+	Machine  Machine
+	Cores    int
+	Seed     uint64
+	RefScale float64
+	// Budget is the fast-memory budget the placer may bind (0 = the
+	// machine's whole MCDRAM tier).
+	Budget int64
+	// EveryIterations / EveryRefs set the epoch length (both 0 =
+	// every iteration).
+	EveryIterations int
+	EveryRefs       int64
+	// SamplePeriod is the in-run monitor's PEBS decimation
+	// (0 = DefaultScaledPeriod).
+	SamplePeriod uint64
+	// Decay, Hysteresis, HorizonEpochs and MinSamples tune the
+	// re-advisor; zero values take internal/online's defaults.
+	Decay         float64
+	Hysteresis    float64
+	HorizonEpochs float64
+	MinSamples    int
+	// Strategy packs the per-epoch knapsack (nil = StrategyDensity).
+	Strategy Strategy
+}
+
+// RunOnline executes w under the online adaptive placer. The result's
+// Epochs/Migrations/MigratedBytes/MigrationCycles fields report the
+// re-placement activity.
+func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
+	budget := cfg.Budget
+	if budget <= 0 {
+		mc, ok := cfg.Machine.Tier(mem.TierMCDRAM)
+		if !ok {
+			return nil, fmt.Errorf("hybridmem: machine lacks an MCDRAM tier")
+		}
+		budget = mc.Capacity
+	}
+	// The horizon cap is only knowable for purely iteration-counted
+	// epochs; a refs trigger can close epochs at phase granularity,
+	// so its total is workload-dependent and stays unbounded.
+	totalEpochs := 0
+	if cfg.EveryRefs <= 0 {
+		if cfg.EveryIterations > 0 {
+			totalEpochs = w.Iterations / cfg.EveryIterations
+		} else {
+			totalEpochs = w.Iterations
+		}
+	}
+	return engine.Run(w, engine.Config{
+		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
+		RefScale: cfg.RefScale,
+		MakePolicy: online.Factory(online.Options{
+			Machine: cfg.Machine, Cores: cfg.Cores, Budget: budget,
+			EveryIterations: cfg.EveryIterations, EveryRefs: cfg.EveryRefs,
+			SamplePeriod: cfg.SamplePeriod, Decay: cfg.Decay,
+			Hysteresis: cfg.Hysteresis, HorizonEpochs: cfg.HorizonEpochs,
+			MinSamples:  cfg.MinSamples,
+			TotalEpochs: totalEpochs, Strategy: cfg.Strategy,
+		}),
+	})
 }
 
 // PipelineConfig drives all four stages end to end.

@@ -112,7 +112,7 @@ func TestBaselineString(t *testing.T) {
 	for b, want := range map[Baseline]string{
 		BaselineDDR: "ddr", BaselineNumactl: "numactl",
 		BaselineAutoHBW: "autohbw/1m", BaselineCacheMode: "cache",
-		Baseline(9): "baseline(9)",
+		BaselineOnline: "online", Baseline(9): "baseline(9)",
 	} {
 		if b.String() != want {
 			t.Errorf("Baseline(%d) = %q, want %q", b, b.String(), want)
@@ -124,8 +124,8 @@ func TestWorkloadCatalogAccessors(t *testing.T) {
 	if len(Workloads()) != 8 {
 		t.Fatal("catalog should have 8 workloads")
 	}
-	if len(WorkloadNames()) != 8 {
-		t.Fatal("names should have 8 entries")
+	if len(WorkloadNames()) != 9 {
+		t.Fatal("names should have 9 entries (Table I plus phaseshift)")
 	}
 	if _, err := WorkloadByName("bogus"); err == nil {
 		t.Fatal("unknown name accepted")

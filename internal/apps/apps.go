@@ -27,14 +27,15 @@ import (
 
 // registry maps workload name to constructor.
 var registry = map[string]func() *engine.Workload{
-	"hpcg":      HPCG,
-	"lulesh":    Lulesh,
-	"bt":        BT,
-	"minife":    MiniFE,
-	"cgpop":     CGPOP,
-	"snap":      SNAP,
-	"maxw-dgtd": MAXWDGTD,
-	"gtc-p":     GTCP,
+	"hpcg":       HPCG,
+	"lulesh":     Lulesh,
+	"bt":         BT,
+	"minife":     MiniFE,
+	"cgpop":      CGPOP,
+	"snap":       SNAP,
+	"maxw-dgtd":  MAXWDGTD,
+	"gtc-p":      GTCP,
+	"phaseshift": PhaseShift,
 }
 
 // Names returns the registered workload names, sorted.

@@ -21,8 +21,8 @@ func TestAllWorkloadsValidate(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 8 {
-		t.Fatalf("names = %v, want 8 workloads", names)
+	if len(names) != 9 {
+		t.Fatalf("names = %v, want the 8 Table I workloads plus phaseshift", names)
 	}
 	for _, n := range names {
 		w, err := ByName(n)
@@ -124,6 +124,51 @@ func TestHotDynamicObjectsExist(t *testing.T) {
 		if !anyDynamic {
 			t.Errorf("%s: no touched dynamic object", w.Name)
 		}
+	}
+}
+
+func TestPhaseShiftShape(t *testing.T) {
+	w := PhaseShift()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one sweep phase is active on any iteration, and each
+	// slot holds for several consecutive iterations before rotating.
+	lastActive := -1
+	switches := 0
+	for it := 0; it < w.Iterations; it++ {
+		active := -1
+		for p := range w.IterPhases {
+			ph := &w.IterPhases[p]
+			if ph.Rotation.Count > 1 && ph.ActiveOn(it) {
+				if active != -1 {
+					t.Fatalf("iteration %d: two sweep phases active", it)
+				}
+				active = p
+			}
+		}
+		if active == -1 {
+			t.Fatalf("iteration %d: no sweep phase active", it)
+		}
+		if active != lastActive {
+			switches++
+			lastActive = active
+		}
+	}
+	if switches != 3 {
+		t.Fatalf("hot set switched %d times over %d iterations, want 3 slots", switches, w.Iterations)
+	}
+	// The rotating groups must dwarf the budget so no static placement
+	// can hold them all: one group plus the core fits 32 MB, all three
+	// do not.
+	var groupBytes int64
+	for _, o := range w.Objects {
+		if o.Name != "field" && o.Name != "core" {
+			groupBytes += o.Size
+		}
+	}
+	if groupBytes <= 32*units.MB {
+		t.Fatalf("rotating groups total %d MB, want > 32 MB budget", groupBytes/units.MB)
 	}
 }
 

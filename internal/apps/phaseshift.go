@@ -1,0 +1,71 @@
+package apps
+
+import (
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// PhaseShift is the adversary of every one-shot advisor: a synthetic
+// MPI application whose hot set ROTATES between three object groups as
+// the run progresses (engine.Rotation). Each group is two 8 MB arrays
+// gathered intensely while its slot is active and untouched otherwise;
+// a small always-hot core array and a large cold field round out the
+// footprint.
+//
+// Profiled offline, the three groups accumulate near-identical miss
+// counts, so a static placement can fund at most one group for the
+// whole run and serves the other two slots from DDR — the paper's
+// static-address-space blind spot extended to time. An online placer
+// that re-advises at epoch boundaries follows the rotation, paying one
+// group's migration per slot switch; with the default budget of one
+// group plus the core, that trade is decisively profitable (see
+// internal/online's tests).
+func PhaseShift() *engine.Workload {
+	const (
+		groups    = 3
+		slotIters = 5
+	)
+	w := &engine.Workload{
+		Name: "phaseshift", Program: "phaseshift", Language: "C", Parallelism: "MPI",
+		LinesOfCode: 1200, Ranks: 16, Threads: 4,
+		FOMName: "sweeps/s", FOMUnit: "sweeps/s", WorkPerIteration: 1,
+		Iterations:      groups * slotIters,
+		StaticBytes:     units.MB,
+		StackBytes:      512 * units.KB,
+		AllocStatements: "0/0/0/8/0/0/0",
+		Objects: []engine.ObjectSpec{
+			// The cold bulk allocates first, so FCFS baselines burn
+			// their fast share on it.
+			{Name: "field", Class: engine.Dynamic, Size: 256 * units.MB,
+				SitePath: []string{"main", "init_domain", "allocField"}},
+			{Name: "core", Class: engine.Dynamic, Size: 4 * units.MB,
+				SitePath: []string{"main", "init_domain", "allocCore"}},
+		},
+	}
+	groupNames := [groups]string{"gA", "gB", "gC"}
+	for k := 0; k < groups; k++ {
+		g := groupNames[k]
+		w.Objects = append(w.Objects,
+			engine.ObjectSpec{Name: g + ".0", Class: engine.Dynamic, Size: 8 * units.MB,
+				SitePath: []string{"main", "init_groups", "alloc" + g + "0"}},
+			engine.ObjectSpec{Name: g + ".1", Class: engine.Dynamic, Size: 8 * units.MB,
+				SitePath: []string{"main", "init_groups", "alloc" + g + "1"}},
+		)
+		w.IterPhases = append(w.IterPhases, engine.Phase{
+			Routine: "sweep_" + g, Instructions: 150000,
+			Rotation: engine.Rotation{Every: slotIters, Count: groups, Slot: k},
+			Touches: []engine.Touch{
+				{Object: g + ".0", Pattern: engine.GatherRandom, Refs: 300000},
+				{Object: g + ".1", Pattern: engine.GatherRandom, Refs: 300000},
+			},
+		})
+	}
+	w.IterPhases = append(w.IterPhases, engine.Phase{
+		Routine: "relax", Instructions: 80000,
+		Touches: []engine.Touch{
+			{Object: "core", Pattern: engine.Sequential, Refs: 60000},
+			{Object: "field", Pattern: engine.Sequential, Refs: 3000},
+		},
+	})
+	return w
+}

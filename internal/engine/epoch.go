@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"repro/internal/mem"
+	"repro/internal/pebs"
+	"repro/internal/units"
+)
+
+// EpochSpec declares how a run is sliced into epochs for an
+// EpochPolicy. An epoch ends when either bound is reached: after
+// EveryIterations main-loop iterations (checked at iteration
+// boundaries) or after EveryRefs simulated memory references (checked
+// at phase boundaries, so long iterations still tick). At least one
+// bound must be positive; a spec with both zero defaults to
+// one-iteration epochs.
+type EpochSpec struct {
+	// EveryIterations ends an epoch every N main-loop iterations.
+	EveryIterations int
+	// EveryRefs ends an epoch once N references were simulated since
+	// the previous boundary.
+	EveryRefs int64
+	// SamplePeriod is the PEBS decimation of the in-run monitor
+	// (0 = pebs.DefaultPeriod). The epoch monitor samples the LLC miss
+	// stream independently of Config.Monitor's trace sampler.
+	SamplePeriod uint64
+}
+
+func (s EpochSpec) withDefaults() EpochSpec {
+	if s.EveryIterations <= 0 && s.EveryRefs <= 0 {
+		s.EveryIterations = 1
+	}
+	return s
+}
+
+// EpochInfo hands the closing epoch's observations to the policy.
+type EpochInfo struct {
+	// Index counts epochs from zero.
+	Index int
+	// Iteration is the main-loop iteration at the boundary.
+	Iteration int
+	// Now is the simulated time at the boundary.
+	Now units.Cycles
+	// Refs counts references simulated during the epoch.
+	Refs int64
+	// Samples are the epoch's PEBS samples (addresses + routines).
+	Samples []pebs.Sample
+}
+
+// Migration asks the engine to rebind [Addr, Addr+Size) from one tier
+// to another mid-run. The engine applies the page-table change and
+// charges mem.MigrationTime to the run — live migration is not free,
+// which is exactly what the online placer's cost-benefit gate weighs.
+type Migration struct {
+	Addr     uint64
+	Size     int64
+	From, To mem.TierID
+}
+
+// EpochPolicy is the optional extension of Policy that turns a run
+// online: the engine slices the run into epochs per EpochSpec, runs a
+// dedicated PEBS monitor, and at every boundary hands the accumulated
+// samples to EpochEnd, applying the returned migrations. Policies that
+// do not implement it run exactly as before — the seam is invisible to
+// the offline framework.
+type EpochPolicy interface {
+	Policy
+	// EpochSpec is read once per run, before execution starts.
+	EpochSpec() EpochSpec
+	// EpochEnd observes the closing epoch and returns the tier
+	// migrations to apply at the boundary.
+	EpochEnd(info EpochInfo) []Migration
+}
+
+// maybeEndEpoch closes the current epoch if a bound is reached.
+// iterBoundary gates the iteration-count trigger so the refs trigger
+// alone fires at phase granularity.
+func (r *runner) maybeEndEpoch(it int, iterBoundary bool) {
+	if r.epochPol == nil {
+		return
+	}
+	trigger := r.epochSpec.EveryRefs > 0 && r.epochRefs >= r.epochSpec.EveryRefs
+	if iterBoundary && r.epochSpec.EveryIterations > 0 && r.epochIters >= r.epochSpec.EveryIterations {
+		trigger = true
+	}
+	if !trigger {
+		return
+	}
+	info := EpochInfo{
+		Index: r.epochIdx, Iteration: it, Now: r.now,
+		Refs: r.epochRefs, Samples: r.epochSamples,
+	}
+	r.applyMigrations(r.epochPol.EpochEnd(info))
+	r.epochIdx++
+	r.result.Epochs++
+	r.epochRefs = 0
+	r.epochIters = 0
+	r.epochSamples = nil
+}
+
+// applyMigrations rebinds the requested ranges and charges the move
+// traffic: bytes cross both tiers at the slower tier's effective
+// bandwidth, plus per-page remap cost (see mem.MigrationTime).
+func (r *runner) applyMigrations(moves []Migration) {
+	for _, mv := range moves {
+		if mv.Size <= 0 || mv.From == mv.To {
+			continue
+		}
+		r.space.PageTable().SetRange(mv.Addr, mv.Size, mv.To)
+		cost := mem.MigrationTime(&r.machine, r.cores, mv.Size, mv.From, mv.To)
+		r.now += cost
+		r.result.Migrations++
+		r.result.MigratedBytes += mv.Size
+		r.result.MigrationCycles += cost
+	}
+}

@@ -30,9 +30,15 @@ type MonitorConfig struct {
 	CostScale float64
 }
 
+// defaultCostScale is the shared event-cost compression factor of the
+// scaled simulation (see MonitorConfig.CostScale); the trace monitor
+// and the online epoch monitor must use the same one or static-vs-
+// online overhead comparisons skew.
+const defaultCostScale = 0.05
+
 func (mc *MonitorConfig) costScale() float64 {
 	if mc.CostScale <= 0 {
-		return 0.05
+		return defaultCostScale
 	}
 	return mc.CostScale
 }
@@ -98,6 +104,14 @@ type Result struct {
 	PolicyOverhead  units.Cycles
 	Samples         int64
 
+	// Online (EpochPolicy) statistics: epoch boundaries reached, live
+	// migrations applied, bytes rebound between tiers, and the modeled
+	// move-traffic cost charged to the run.
+	Epochs          int64
+	Migrations      int64
+	MigratedBytes   int64
+	MigrationCycles units.Cycles
+
 	// Trace is non-nil for monitored runs.
 	Trace *trace.Trace
 
@@ -158,6 +172,15 @@ type runner struct {
 	// Per-phase sample buffering for retroactive timestamping.
 	phaseSamples []pendingSample
 	phaseRefIdx  int64
+
+	// Online-placement state (EpochPolicy runs only).
+	epochPol     EpochPolicy
+	epochSpec    EpochSpec
+	epochSampler *pebs.Sampler
+	epochSamples []pebs.Sample
+	epochRefs    int64
+	epochIters   int
+	epochIdx     int
 
 	monitorOverhead units.Cycles
 	allocEventCost  units.Cycles
@@ -227,6 +250,21 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 	r.policy = policy
 	r.result.Policy = policy.Name()
 
+	if ep, ok := policy.(EpochPolicy); ok {
+		r.epochPol = ep
+		r.epochSpec = ep.EpochSpec().withDefaults()
+		r.epochSampler = pebs.NewSampler(r.epochSpec.SamplePeriod)
+		// The epoch monitor's interrupt cost is scaled like the trace
+		// monitor's: the simulation compresses run time, so unscaled
+		// per-event costs would inflate the overhead share. A custom
+		// Monitor.CostScale applies to both monitors alike.
+		scale := defaultCostScale
+		if cfg.Monitor != nil {
+			scale = cfg.Monitor.costScale()
+		}
+		r.epochSampler.PerSampleCost = units.Cycles(float64(r.epochSampler.PerSampleCost) * scale)
+	}
+
 	if cfg.Monitor != nil {
 		r.sampler = pebs.NewSampler(cfg.Monitor.SamplePeriod)
 		r.sampler.PerSampleCost = units.Cycles(float64(r.sampler.PerSampleCost) * cfg.Monitor.costScale())
@@ -292,11 +330,15 @@ func (r *runner) placeStaticsAndStack(fastCap int64) (int64, error) {
 
 func (r *runner) onLLCMiss(addr uint64) {
 	r.result.ObjectMisses[r.curObject]++
-	if r.sampler == nil {
-		return
+	if r.sampler != nil {
+		if s, ok := r.sampler.Observe(addr, r.curRoutine); ok {
+			r.phaseSamples = append(r.phaseSamples, pendingSample{accessIdx: r.phaseRefIdx, sample: s})
+		}
 	}
-	if s, ok := r.sampler.Observe(addr, r.curRoutine); ok {
-		r.phaseSamples = append(r.phaseSamples, pendingSample{accessIdx: r.phaseRefIdx, sample: s})
+	if r.epochSampler != nil {
+		if s, ok := r.epochSampler.Observe(addr, r.curRoutine); ok {
+			r.epochSamples = append(r.epochSamples, s)
+		}
 	}
 }
 
@@ -379,6 +421,11 @@ func (r *runner) execute() error {
 			return err
 		}
 	}
+	// Epoch accounting starts with the main loop: init-phase refs and
+	// samples are discarded so a refs-triggered first epoch is never
+	// closed on (and the placer never advised by) init-only traffic.
+	r.epochRefs = 0
+	r.epochSamples = nil
 
 	reallocIter := r.w.Iterations / 2
 	for it := 0; it < r.w.Iterations; it++ {
@@ -401,6 +448,11 @@ func (r *runner) execute() error {
 			}
 		}
 		for p := range r.w.IterPhases {
+			// Rotated phases run only on their slot's iterations (the
+			// phase-shifting workloads whose hot set moves mid-run).
+			if !r.w.IterPhases[p].ActiveOn(it) {
+				continue
+			}
 			// Phase-scoped churn: allocate just before, free right
 			// after, so temporaries of different phases never coexist.
 			if err := r.eachChurn(p+1, r.allocObject); err != nil {
@@ -412,6 +464,7 @@ func (r *runner) execute() error {
 			if err := r.eachChurn(p+1, r.freeObject); err != nil {
 				return err
 			}
+			r.maybeEndEpoch(it, false)
 		}
 		for i := len(r.w.Objects) - 1; i >= 0; i-- {
 			o := &r.w.Objects[i]
@@ -424,6 +477,8 @@ func (r *runner) execute() error {
 		if r.tr != nil {
 			r.tr.Append(trace.Record{Time: r.now, Type: trace.EvPhaseEnd, Routine: "__iter__", Counter: int64(it)})
 		}
+		r.epochIters++
+		r.maybeEndEpoch(it, true)
 	}
 
 	// Program-lifetime frees.
@@ -537,6 +592,7 @@ func (r *runner) runPhase(ph *Phase, iter int) error {
 		Routine: ph.Routine, Iteration: iter, Start: phaseStart,
 		Duration: dur, Instrs: instrs, Refs: totalRefs,
 	})
+	r.epochRefs += totalRefs
 	r.now = phaseStart + dur
 	return nil
 }
@@ -593,6 +649,12 @@ func (r *runner) finish() *Result {
 		r.monitorOverhead += r.sampler.OverheadCycles()
 		r.now += r.sampler.OverheadCycles()
 		res.Samples = r.sampler.Emitted()
+	}
+	if r.epochSampler != nil {
+		// The online monitor's sampling cost is monitoring overhead
+		// too — the online system pays for its own observations.
+		r.monitorOverhead += r.epochSampler.OverheadCycles()
+		r.now += r.epochSampler.OverheadCycles()
 	}
 	res.MonitorOverhead = r.monitorOverhead
 	res.Cycles = r.now

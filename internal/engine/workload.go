@@ -126,6 +126,22 @@ type Touch struct {
 	HotFraction float64
 }
 
+// Rotation schedules a phase onto a rotating slice of the iteration
+// space: with Count slots of Every iterations each, the phase executes
+// only on iterations where (iter/Every)%Count == Slot. Phases sharing
+// Every and Count but holding different Slots take turns — the
+// building block for phase-shifting workloads whose hot set moves
+// between object groups mid-run, the scenario where online placement
+// must beat a one-shot advisor. The zero value means always active.
+type Rotation struct {
+	// Every is the number of consecutive iterations per slot (0 = 1).
+	Every int
+	// Count is the number of rotating slots (0 or 1 = no rotation).
+	Count int
+	// Slot is this phase's turn, in [0, Count).
+	Slot int
+}
+
 // Phase is one routine execution inside an iteration (or init).
 type Phase struct {
 	Routine string
@@ -133,6 +149,23 @@ type Phase struct {
 	// execution; drives compute time and the MIPS signal of Fig. 5.
 	Instructions int64
 	Touches      []Touch
+	// Rotation, when Count > 1, restricts the phase to its rotating
+	// slice of the main loop. Init phases ignore it.
+	Rotation Rotation
+}
+
+// ActiveOn reports whether the phase executes on the given main-loop
+// iteration under its rotation schedule.
+func (ph *Phase) ActiveOn(iter int) bool {
+	rt := ph.Rotation
+	if rt.Count <= 1 {
+		return true
+	}
+	every := rt.Every
+	if every <= 0 {
+		every = 1
+	}
+	return (iter/every)%rt.Count == rt.Slot
 }
 
 // Workload is a complete synthetic application: Table I metadata, the
@@ -214,6 +247,14 @@ func (w *Workload) Validate() error {
 			if ph.Routine == "" {
 				return fmt.Errorf("engine: %s: %s phase without routine name", w.Name, where)
 			}
+			if rt := ph.Rotation; rt.Count > 1 {
+				if rt.Slot < 0 || rt.Slot >= rt.Count {
+					return fmt.Errorf("engine: %s: phase %s rotation slot %d out of range [0,%d)", w.Name, ph.Routine, rt.Slot, rt.Count)
+				}
+				if rt.Every < 0 {
+					return fmt.Errorf("engine: %s: phase %s negative rotation period", w.Name, ph.Routine)
+				}
+			}
 			for _, tc := range ph.Touches {
 				if _, ok := byName[tc.Object]; !ok {
 					return fmt.Errorf("engine: %s: phase %s touches unknown object %q", w.Name, ph.Routine, tc.Object)
@@ -267,12 +308,18 @@ func (w *Workload) StackFootprint() int64 {
 	return s
 }
 
-// TotalRefsPerIteration sums Touch.Refs over the iteration phases.
+// TotalRefsPerIteration sums Touch.Refs over the iteration phases,
+// averaged over the rotation cycle: a phase active on one of Count
+// rotating slots contributes Refs/Count per iteration.
 func (w *Workload) TotalRefsPerIteration() int64 {
 	var s int64
 	for _, ph := range w.IterPhases {
+		share := int64(1)
+		if ph.Rotation.Count > 1 {
+			share = int64(ph.Rotation.Count)
+		}
 		for _, tc := range ph.Touches {
-			s += tc.Refs
+			s += tc.Refs / share
 		}
 	}
 	return s

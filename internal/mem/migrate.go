@@ -1,0 +1,36 @@
+package mem
+
+import "repro/internal/units"
+
+// pageRemapCycles is the per-page bookkeeping cost of a live migration:
+// the unmap/copy-setup/remap plus amortized TLB shootdown the kernel
+// pays in move_pages(2). Batched migration amortizes the shootdown
+// across many pages, so the per-page constant is far below a single
+// mbind round trip.
+const pageRemapCycles units.Cycles = 120
+
+// MigrationTime models moving bytes of live data from one tier to
+// another while the application runs. The copy reads the source tier
+// and writes the destination tier simultaneously, so its rate is the
+// slower of the two effective bandwidths; on top of the copy every
+// touched page pays a remap cost. A tier missing from the machine (or
+// a same-tier move) costs nothing — there is nothing to move across.
+func MigrationTime(m *Machine, cores int, bytes int64, from, to TierID) units.Cycles {
+	if bytes <= 0 || from == to {
+		return 0
+	}
+	src, okSrc := m.Tier(from)
+	dst, okDst := m.Tier(to)
+	if !okSrc || !okDst {
+		return 0
+	}
+	bw := src.EffectiveBandwidth(cores)
+	if d := dst.EffectiveBandwidth(cores); d < bw {
+		bw = d
+	}
+	if bw <= 0 {
+		return 0
+	}
+	copyCycles := units.Cycles(float64(bytes) / bw * m.ClockHz)
+	return copyCycles + units.Cycles(units.PagesFor(bytes))*pageRemapCycles
+}

@@ -1,0 +1,70 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestMigrationTimeZeroCases(t *testing.T) {
+	m := DefaultKNL()
+	if c := MigrationTime(&m, m.Cores, 0, TierDDR, TierMCDRAM); c != 0 {
+		t.Errorf("zero bytes cost %d", c)
+	}
+	if c := MigrationTime(&m, m.Cores, units.MB, TierDDR, TierDDR); c != 0 {
+		t.Errorf("same-tier move cost %d", c)
+	}
+	if c := MigrationTime(&m, m.Cores, units.MB, TierDDR, TierID(7)); c != 0 {
+		t.Errorf("missing tier cost %d", c)
+	}
+}
+
+func TestMigrationTimeBottleneckIsSlowerTier(t *testing.T) {
+	m := DefaultKNL()
+	// Moving data between DDR and MCDRAM is paced by DDR whichever
+	// way it flows, so both directions cost the same.
+	up := MigrationTime(&m, m.Cores, 64*units.MB, TierDDR, TierMCDRAM)
+	down := MigrationTime(&m, m.Cores, 64*units.MB, TierMCDRAM, TierDDR)
+	if up != down {
+		t.Fatalf("promote %d != demote %d", up, down)
+	}
+	// The copy term must be at least bytes / DDR peak bandwidth.
+	ddr, _ := m.Tier(TierDDR)
+	floor := units.Cycles(float64(64*units.MB) / ddr.EffectiveBandwidth(m.Cores) * m.ClockHz)
+	if up < floor {
+		t.Fatalf("cost %d below the bandwidth floor %d", up, floor)
+	}
+}
+
+func TestMigrationTimeScalesWithBytes(t *testing.T) {
+	m := DefaultKNL()
+	small := MigrationTime(&m, m.Cores, 4*units.MB, TierDDR, TierMCDRAM)
+	big := MigrationTime(&m, m.Cores, 64*units.MB, TierDDR, TierMCDRAM)
+	if big <= small {
+		t.Fatalf("64 MB (%d) not costlier than 4 MB (%d)", big, small)
+	}
+	// Per-page remap overhead makes the cost super-bandwidth: strictly
+	// more than the pure copy term.
+	ddr, _ := m.Tier(TierDDR)
+	copyOnly := units.Cycles(float64(64*units.MB) / ddr.EffectiveBandwidth(m.Cores) * m.ClockHz)
+	if big <= copyOnly {
+		t.Fatalf("cost %d does not include page remap overhead (copy alone %d)", big, copyOnly)
+	}
+}
+
+func TestTrafficAddBulk(t *testing.T) {
+	tr := NewTraffic()
+	tr.AddBulk(TierDDR, 1000, 64)
+	tr.AddBulk(TierDDR, -5, 64) // ignored
+	if tr.Bytes(TierDDR) != 64000 || tr.Visits(TierDDR) != 1000 {
+		t.Fatalf("bulk add: %d bytes / %d visits", tr.Bytes(TierDDR), tr.Visits(TierDDR))
+	}
+	one := NewTraffic()
+	for i := 0; i < 1000; i++ {
+		one.Add(TierDDR, 64)
+	}
+	m := DefaultKNL()
+	if one.MemoryTime(&m, 4) != tr.MemoryTime(&m, 4) {
+		t.Fatal("AddBulk and repeated Add disagree")
+	}
+}

@@ -24,6 +24,17 @@ func (tr *Traffic) Add(tier TierID, n int64) {
 	tr.visits[tier]++
 }
 
+// AddBulk records n transfers of bytesEach against tier in one call —
+// the bulk path used when reconstructing traffic from decimated PEBS
+// samples, where each sample stands for thousands of misses.
+func (tr *Traffic) AddBulk(tier TierID, n, bytesEach int64) {
+	if n <= 0 {
+		return
+	}
+	tr.bytes[tier] += n * bytesEach
+	tr.visits[tier] += n
+}
+
 // Bytes returns bytes moved against tier.
 func (tr *Traffic) Bytes(tier TierID) int64 { return tr.bytes[tier] }
 

@@ -1,0 +1,641 @@
+// Package online implements the dynamic data placement the paper's
+// Section V names as its open problem: instead of the offline
+// profile-once/advise-once/execute-once pipeline, the run itself is
+// sliced into epochs by the engine (engine.EpochPolicy); an in-run
+// monitor accumulates the epoch's PEBS samples, an exponential-decay
+// aggregator turns them into a recency-weighted per-object miss rate,
+// and an incremental advisor re-solves the fast-memory knapsack
+// against the LIVE footprint at every boundary. The resulting plan is
+// only executed when a cost-benefit gate says the predicted gain (the
+// sample-expansion model of internal/predict) outweighs the migration
+// traffic (bytes crossing both tiers at the slower tier's bandwidth,
+// internal/mem's migration model) with hysteresis to spare — so stable
+// workloads settle after one placement and phase-shifting workloads
+// re-place exactly when their hot set moves.
+//
+// Everything is allocated on the default (DDR) heap; promotion is
+// page rebinding, the simulated move_pages(2). Allocations from a
+// currently-promoted site bind to fast memory at birth — pages never
+// touched cost nothing to place, which is how churny hot sites (the
+// Lulesh temporaries) are captured with zero migration traffic.
+// Static and stack data remain invisible, exactly as they are to
+// auto-hbwmalloc.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/advisor"
+	"repro/internal/alloc"
+	"repro/internal/callstack"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/predict"
+	"repro/internal/units"
+)
+
+// DefaultSamplePeriod is the default PEBS decimation of the in-run
+// monitor — the same scaled period the offline profiler uses (see the
+// root package's DefaultScaledPeriod), so one epoch of a scaled run
+// yields the hundreds of samples the re-advisor needs.
+const DefaultSamplePeriod = 1499
+
+// replanCycles is the modeled cost of one epoch's aggregation and
+// knapsack re-solve (the greedy strategies are linear after sorting;
+// ~5 µs at 1.4 GHz).
+const replanCycles units.Cycles = 7000
+
+// Options tune the online placer. Machine and Budget are required.
+type Options struct {
+	// Machine is the memory system the run executes on; its bandwidth
+	// and latency numbers feed the migration cost-benefit gate.
+	Machine mem.Machine
+	// Cores used by the run (0 = all machine cores).
+	Cores int
+	// Budget is the fast-tier byte budget the placer may bind.
+	Budget int64
+
+	// EveryIterations / EveryRefs bound the epoch length (see
+	// engine.EpochSpec; both zero = one-iteration epochs).
+	EveryIterations int
+	EveryRefs       int64
+	// SamplePeriod is the in-run monitor's PEBS decimation
+	// (0 = DefaultSamplePeriod).
+	SamplePeriod uint64
+
+	// Decay is the aggregator's per-epoch retention in (0, 1]
+	// (0 = 0.35): how fast the placer forgets cold history. A decayed
+	// steady-state score is d/(1-d) of a fresh epoch's, so any value
+	// below 0.5 guarantees a newly-hot group overtakes a stale one
+	// within a single epoch — the default leaves clear daylight.
+	Decay float64
+	// MinSamples is the minimum attributed samples an epoch needs
+	// before the placer acts on it (0 = 8) — sparse epochs only decay.
+	MinSamples int
+	// Hysteresis is the gate's safety factor (0 = 1.5): predicted
+	// gain over the horizon must exceed Hysteresis times the
+	// migration cost, so near-break-even churn (two objects of
+	// similar heat swapping places) never moves data.
+	Hysteresis float64
+	// HorizonEpochs is how many future epochs a new placement is
+	// assumed to persist when weighing gain against move cost (0 = 3).
+	HorizonEpochs float64
+	// TotalEpochs, when positive, caps the horizon by the epochs
+	// actually remaining — near the end of a run even a profitable
+	// move cannot amortize.
+	TotalEpochs int
+
+	// Strategy packs the knapsack (nil = advisor.DensityStrategy).
+	Strategy advisor.Strategy
+}
+
+func (o *Options) fill() {
+	if o.SamplePeriod == 0 {
+		o.SamplePeriod = DefaultSamplePeriod
+	}
+	if o.Decay == 0 {
+		o.Decay = 0.35
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 8
+	}
+	if o.Hysteresis == 0 {
+		o.Hysteresis = 1.5
+	}
+	if o.HorizonEpochs == 0 {
+		o.HorizonEpochs = 3
+	}
+	if o.Strategy == nil {
+		o.Strategy = advisor.DensityStrategy{}
+	}
+	if o.Cores <= 0 {
+		o.Cores = o.Machine.Cores
+	}
+}
+
+// Stats are the placer's execution statistics.
+type Stats struct {
+	Epochs            int64 // epoch boundaries observed
+	SamplesSeen       int64 // PEBS samples handed over
+	SamplesAttributed int64 // samples landing in a tracked region
+	PlansEvaluated    int64 // epochs where the knapsack disagreed with the current placement
+	GateRejected      int64 // plans the cost-benefit gate refused
+	MoveEpochs        int64 // epochs that actually migrated data
+	LastMoveEpoch     int64 // index of the last migrating epoch (-1 = none)
+	Promotions        int64 // sites promoted
+	Demotions         int64 // sites demoted
+	BytesPromoted     int64 // bytes migrated DDR -> fast
+	BytesDemoted      int64 // bytes migrated fast -> DDR
+	BindsAtAlloc      int64 // allocations bound fast at birth (no copy)
+}
+
+// region is one live allocation the placer tracks.
+type region struct {
+	start uint64
+	size  int64
+	site  string
+	bound bool // pages currently on the fast tier
+}
+
+// Policy is the online adaptive placer. It implements engine.Policy
+// for the allocation path and engine.EpochPolicy for the epoch-driven
+// re-advising loop.
+type Policy struct {
+	mk   *alloc.Memkind
+	prog *callstack.Program
+	opts Options
+
+	regions []region // live, sorted by start
+	freed   []region // freed during the current epoch (sample graveyard)
+	maxSize map[string]int64
+	// epochMax is the largest request per site during the current
+	// epoch; it sizes churny candidates (nothing live at the
+	// boundary) from recent behaviour instead of all-time history,
+	// so one historically huge allocation cannot permanently inflate
+	// a site out of the knapsack.
+	epochMax map[string]int64
+	siteOf   map[uint64]string // stack fingerprint -> translated site
+
+	agg      *Aggregator
+	promoted map[string]bool
+	fastUsed int64 // page-aligned fast bytes bound by us
+
+	overhead units.Cycles
+	stats    Stats
+}
+
+// New builds the placer over a run's allocator façade and program.
+func New(mk *alloc.Memkind, prog *callstack.Program, opts Options) (*Policy, error) {
+	if mk == nil || prog == nil {
+		return nil, fmt.Errorf("online: nil memkind or program")
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("online: non-positive budget %d", opts.Budget)
+	}
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	mc, ok := opts.Machine.Tier(mem.TierMCDRAM)
+	if !ok {
+		return nil, fmt.Errorf("online: machine lacks an MCDRAM tier")
+	}
+	// The placer binds pages directly (it bypasses the capacity-capped
+	// HBW arena), so the budget must itself respect the physical tier.
+	if opts.Budget > mc.Capacity {
+		return nil, fmt.Errorf("online: budget %d exceeds MCDRAM capacity %d", opts.Budget, mc.Capacity)
+	}
+	if opts.Decay < 0 || opts.Decay > 1 {
+		return nil, fmt.Errorf("online: decay %g outside (0, 1]", opts.Decay)
+	}
+	// Negative gate knobs would invert the cost-benefit comparison.
+	if opts.Hysteresis < 0 {
+		return nil, fmt.Errorf("online: negative hysteresis %g", opts.Hysteresis)
+	}
+	if opts.HorizonEpochs < 0 {
+		return nil, fmt.Errorf("online: negative horizon %g", opts.HorizonEpochs)
+	}
+	if opts.MinSamples < 0 {
+		return nil, fmt.Errorf("online: negative min samples %d", opts.MinSamples)
+	}
+	opts.fill()
+	return &Policy{
+		mk: mk, prog: prog, opts: opts,
+		maxSize:  make(map[string]int64),
+		epochMax: make(map[string]int64),
+		siteOf:   make(map[uint64]string),
+		agg:      NewAggregator(opts.Decay),
+		promoted: make(map[string]bool),
+		stats:    Stats{LastMoveEpoch: -1},
+	}, nil
+}
+
+// Factory adapts the placer to the engine's policy seam. The engine
+// detects the EpochPolicy extension and runs the epoch loop.
+func Factory(opts Options) engine.PolicyFactory {
+	return func(mk *alloc.Memkind, prog *callstack.Program) (engine.Policy, error) {
+		return New(mk, prog, opts)
+	}
+}
+
+// Name implements engine.Policy.
+func (p *Policy) Name() string { return "online" }
+
+// siteKey unwinds and (cached) translates an allocation stack to its
+// site identity, charging the modeled costs like auto-hbwmalloc does.
+func (p *Policy) siteKey(stack callstack.Stack) string {
+	p.overhead += callstack.UnwindCost(len(stack))
+	fp := stack.Fingerprint()
+	if s, ok := p.siteOf[fp]; ok {
+		return s
+	}
+	p.overhead += callstack.TranslateCost(len(stack))
+	s := string(p.prog.Table.Translate(stack))
+	p.siteOf[fp] = s
+	return s
+}
+
+func (p *Policy) insert(rg region) {
+	i := sort.Search(len(p.regions), func(i int) bool { return p.regions[i].start >= rg.start })
+	p.regions = append(p.regions, region{})
+	copy(p.regions[i+1:], p.regions[i:])
+	p.regions[i] = rg
+}
+
+// findIndex locates the live region starting exactly at addr.
+func (p *Policy) findIndex(addr uint64) (int, bool) {
+	i := sort.Search(len(p.regions), func(i int) bool { return p.regions[i].start >= addr })
+	if i < len(p.regions) && p.regions[i].start == addr {
+		return i, true
+	}
+	return 0, false
+}
+
+// attribute maps a sampled address to the site owning it, consulting
+// live regions first and then regions freed during the epoch (their
+// samples predate the free).
+func (p *Policy) attribute(addr uint64) (string, bool) {
+	i := sort.Search(len(p.regions), func(i int) bool { return p.regions[i].start > addr })
+	if i > 0 {
+		rg := p.regions[i-1]
+		if addr < rg.start+uint64(rg.size) {
+			return rg.site, true
+		}
+	}
+	for j := len(p.freed) - 1; j >= 0; j-- {
+		rg := p.freed[j]
+		if addr >= rg.start && addr < rg.start+uint64(rg.size) {
+			return rg.site, true
+		}
+	}
+	return "", false
+}
+
+// bindAtBirth binds a fresh allocation of a promoted site to fast
+// memory when the budget allows: pages not yet touched move nothing.
+func (p *Policy) bindAtBirth(rg *region) {
+	pa := units.PageAlign(rg.size)
+	if !p.promoted[rg.site] || p.fastUsed+pa > p.opts.Budget {
+		return
+	}
+	p.mk.BindPages(rg.start, 0, rg.size, mem.TierMCDRAM)
+	p.fastUsed += pa
+	p.overhead += alloc.HBWAllocPenalty(rg.size)
+	p.stats.BindsAtAlloc++
+	rg.bound = true
+}
+
+// Malloc implements engine.Policy: everything lands on the default
+// heap; hot-site allocations are page-bound to the fast tier at birth.
+func (p *Policy) Malloc(stack callstack.Stack, size int64) (uint64, error) {
+	addr, err := p.mk.Malloc(alloc.KindDefault, size)
+	if err != nil {
+		return 0, err
+	}
+	site := p.siteKey(stack)
+	if size > p.maxSize[site] {
+		p.maxSize[site] = size
+	}
+	if size > p.epochMax[site] {
+		p.epochMax[site] = size
+	}
+	rg := region{start: addr, size: size, site: site}
+	p.bindAtBirth(&rg)
+	p.insert(rg)
+	return addr, nil
+}
+
+// Free implements engine.Policy, unbinding promoted pages so the
+// arena's reuse of the range never inherits a stale fast binding.
+func (p *Policy) Free(addr uint64) error {
+	if i, ok := p.findIndex(addr); ok {
+		rg := p.regions[i]
+		if rg.bound {
+			p.mk.BindPages(rg.start, 0, rg.size, mem.TierDDR)
+			p.fastUsed -= units.PageAlign(rg.size)
+		}
+		p.regions = append(p.regions[:i], p.regions[i+1:]...)
+		p.freed = append(p.freed, rg)
+	}
+	return p.mk.Free(addr)
+}
+
+// Realloc implements engine.Policy. The region is re-tracked at its
+// new address; a promoted site's grown allocation re-binds under the
+// budget check.
+func (p *Policy) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64, error) {
+	if addr == 0 {
+		return p.Malloc(stack, size)
+	}
+	i, ok := p.findIndex(addr)
+	if !ok {
+		return p.mk.Realloc(addr, size)
+	}
+	old := p.regions[i]
+	if old.bound {
+		p.mk.BindPages(old.start, 0, old.size, mem.TierDDR)
+		p.fastUsed -= units.PageAlign(old.size)
+	}
+	p.regions = append(p.regions[:i], p.regions[i+1:]...)
+	// Graveyard the old extent like Free does: samples taken against
+	// the pre-realloc address earlier this epoch must still attribute.
+	p.freed = append(p.freed, old)
+	na, err := p.mk.Realloc(addr, size)
+	if err != nil {
+		return 0, err
+	}
+	if size > p.maxSize[old.site] {
+		p.maxSize[old.site] = size
+	}
+	if size > p.epochMax[old.site] {
+		p.epochMax[old.site] = size
+	}
+	rg := region{start: na, size: size, site: old.site}
+	p.bindAtBirth(&rg)
+	p.insert(rg)
+	return na, nil
+}
+
+// OverheadCycles implements engine.Policy.
+func (p *Policy) OverheadCycles() units.Cycles { return p.overhead }
+
+// Stats returns a snapshot of the placer's statistics.
+func (p *Policy) Stats() Stats { return p.stats }
+
+// Promoted returns the currently promoted site set (test/report aid).
+func (p *Policy) Promoted() []string {
+	out := make([]string, 0, len(p.promoted))
+	for s := range p.promoted {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FastUsed returns the page-aligned fast bytes currently bound.
+func (p *Policy) FastUsed() int64 { return p.fastUsed }
+
+// EpochSpec implements engine.EpochPolicy.
+func (p *Policy) EpochSpec() engine.EpochSpec {
+	return engine.EpochSpec{
+		EveryIterations: p.opts.EveryIterations,
+		EveryRefs:       p.opts.EveryRefs,
+		SamplePeriod:    p.opts.SamplePeriod,
+	}
+}
+
+// EpochEnd implements engine.EpochPolicy: attribute the epoch's
+// samples, re-solve the knapsack against the live footprint, gate the
+// diff on predicted gain vs migration cost, and emit the migrations.
+func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
+	p.stats.Epochs++
+	p.overhead += replanCycles
+
+	var attributed int64
+	for _, s := range info.Samples {
+		p.stats.SamplesSeen++
+		if site, ok := p.attribute(s.Addr); ok {
+			p.agg.Add(site, 1)
+			attributed++
+		}
+	}
+	p.stats.SamplesAttributed += attributed
+	p.freed = p.freed[:0]
+	defer p.agg.EndEpoch()
+	defer func() { p.epochMax = make(map[string]int64) }()
+
+	if attributed < int64(p.opts.MinSamples) {
+		return nil
+	}
+
+	selected := p.solve()
+	desired := make(map[string]bool, len(selected))
+	for _, o := range selected {
+		desired[o.ID] = true
+	}
+	var promote, demote []string
+	for s := range desired {
+		if !p.promoted[s] {
+			promote = append(promote, s)
+		}
+	}
+	for s := range p.promoted {
+		if !desired[s] {
+			demote = append(demote, s)
+		}
+	}
+	// Already-promoted sites may still hold live regions serving from
+	// DDR — allocations that missed bindAtBirth while the budget was
+	// transiently full. planMoves rebinds them, so they join the plan
+	// (and the gate's gain side) even when the site set is unchanged.
+	rebind := make(map[string]bool)
+	for _, rg := range p.regions {
+		if !rg.bound && p.promoted[rg.site] && desired[rg.site] {
+			rebind[rg.site] = true
+		}
+	}
+	if len(promote) == 0 && len(demote) == 0 && len(rebind) == 0 {
+		return nil
+	}
+	sort.Strings(promote)
+	sort.Strings(demote)
+	p.stats.PlansEvaluated++
+
+	moves, moveCost, fastAfter := p.planMoves(selected, desired, demote)
+
+	// Weight each site's epoch samples by the fraction of its live
+	// bytes the plan actually moves, so the gate prices exactly what
+	// it gates: bytes staying put — already bound, or not fitting the
+	// budget — claim no gain, and bytes that were never bound claim
+	// no loss. Sites with nothing live (churny temporaries) count in
+	// full: promotion serves their next allocations via bindAtBirth,
+	// demotion stops doing so, both with zero move bytes.
+	type siteBytes struct{ total, gaining, losing int64 }
+	sb := make(map[string]*siteBytes)
+	acc := func(site string) *siteBytes {
+		s := sb[site]
+		if s == nil {
+			s = &siteBytes{}
+			sb[site] = s
+		}
+		return s
+	}
+	for _, rg := range p.regions {
+		acc(rg.site).total += units.PageAlign(rg.size)
+	}
+	fast := p.opts.Machine.FastestTier().ID
+	for _, mv := range moves {
+		if i, ok := p.findIndex(mv.Addr); ok {
+			s := acc(p.regions[i].site)
+			if mv.To == fast {
+				s.gaining += units.PageAlign(mv.Size)
+			} else {
+				s.losing += units.PageAlign(mv.Size)
+			}
+		}
+	}
+	weighted := func(site string, moved func(*siteBytes) int64) float64 {
+		n := float64(p.agg.EpochSamples(site))
+		s := acc(site)
+		if s.total <= 0 {
+			return n
+		}
+		return n * float64(moved(s)) / float64(s.total)
+	}
+	var gainSamples, demoteSamples float64
+	for _, s := range promote {
+		gainSamples += weighted(s, func(b *siteBytes) int64 { return b.gaining })
+	}
+	for s := range rebind {
+		gainSamples += weighted(s, func(b *siteBytes) int64 { return b.gaining })
+	}
+	for _, s := range demote {
+		demoteSamples += weighted(s, func(b *siteBytes) int64 { return b.losing })
+	}
+
+	if !p.gatePasses(info, int64(gainSamples+0.5), int64(demoteSamples+0.5), moveCost) {
+		p.stats.GateRejected++
+		return nil
+	}
+
+	// Commit: the engine applies the page-table changes and charges
+	// the move traffic; the bookkeeping here must mirror it.
+	for _, s := range demote {
+		delete(p.promoted, s)
+		p.stats.Demotions++
+	}
+	for _, s := range promote {
+		p.promoted[s] = true
+		p.stats.Promotions++
+	}
+	for _, mv := range moves {
+		if i, ok := p.findIndex(mv.Addr); ok {
+			p.regions[i].bound = mv.To == fast
+		}
+		if mv.To == fast {
+			p.stats.BytesPromoted += mv.Size
+		} else {
+			p.stats.BytesDemoted += mv.Size
+		}
+	}
+	p.fastUsed = fastAfter
+	if len(moves) > 0 {
+		p.stats.MoveEpochs++
+		p.stats.LastMoveEpoch = int64(info.Index)
+	}
+	return moves
+}
+
+// solve re-runs the advisor's knapsack over the live footprint with
+// decayed scores as the cost proxy. A candidate is sized by its live
+// page-aligned bytes; a churny site with nothing live at the boundary
+// claims the room its next temporary will need — this epoch's largest
+// request, or the all-time maximum if it did not allocate this epoch
+// — so one historically huge allocation cannot permanently price a
+// now-small site out of the knapsack.
+func (p *Policy) solve() []advisor.Object {
+	live := make(map[string]int64)
+	for _, rg := range p.regions {
+		live[rg.site] += units.PageAlign(rg.size)
+	}
+	objs := make([]advisor.Object, 0, len(p.maxSize))
+	for site, maxSz := range p.maxSize {
+		score := p.agg.Score(site)
+		if score <= 0 {
+			continue
+		}
+		size := live[site]
+		if size == 0 {
+			size = units.PageAlign(p.epochMax[site])
+		}
+		if size == 0 {
+			size = units.PageAlign(maxSz)
+		}
+		objs = append(objs, advisor.Object{
+			ID: site, Size: size,
+			// Fixed-point so sub-sample decayed scores keep ordering.
+			Misses: int64(score*1024 + 0.5),
+		})
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
+	return p.opts.Strategy.Select(objs, p.opts.Budget)
+}
+
+// planMoves builds the migration list a commit would need: demotions
+// free budget first, then promotions bind live regions in the
+// knapsack's packing order while they fit. Returns the list, its
+// modeled cost, and the fast usage after applying it.
+func (p *Policy) planMoves(selected []advisor.Object, desired map[string]bool, demote []string) ([]engine.Migration, units.Cycles, int64) {
+	m := &p.opts.Machine
+	slow := m.SlowestTier().ID
+	fast := m.FastestTier().ID
+	var moves []engine.Migration
+	var cost units.Cycles
+	fastAfter := p.fastUsed
+
+	inDemote := make(map[string]bool, len(demote))
+	for _, s := range demote {
+		inDemote[s] = true
+	}
+	for i := range p.regions {
+		rg := &p.regions[i]
+		if !rg.bound || !inDemote[rg.site] {
+			continue
+		}
+		moves = append(moves, engine.Migration{Addr: rg.start, Size: rg.size, From: fast, To: slow})
+		cost += mem.MigrationTime(m, p.opts.Cores, rg.size, fast, slow)
+		fastAfter -= units.PageAlign(rg.size)
+	}
+	unboundBySite := make(map[string][]int)
+	for i := range p.regions {
+		if !p.regions[i].bound {
+			site := p.regions[i].site
+			unboundBySite[site] = append(unboundBySite[site], i)
+		}
+	}
+	for _, o := range selected {
+		for _, i := range unboundBySite[o.ID] {
+			rg := &p.regions[i]
+			pa := units.PageAlign(rg.size)
+			if fastAfter+pa > p.opts.Budget {
+				continue
+			}
+			moves = append(moves, engine.Migration{Addr: rg.start, Size: rg.size, From: slow, To: fast})
+			cost += mem.MigrationTime(m, p.opts.Cores, rg.size, slow, fast)
+			fastAfter += pa
+		}
+	}
+	return moves, cost, fastAfter
+}
+
+// gatePasses is the hysteresis/cost-benefit gate: the epoch's sample
+// volume gaining fast residency (pre-weighted by the caller) and the
+// volume losing it, expanded by the sampling period, predict the
+// per-epoch cycle delta (internal/predict); the move only happens
+// when that gain, sustained over the horizon, exceeds the migration
+// cost with the hysteresis margin.
+func (p *Policy) gatePasses(info engine.EpochInfo, gainSamples, demoteSamples int64, moveCost units.Cycles) bool {
+	m := &p.opts.Machine
+	slow := m.SlowestTier().ID
+	fast := m.FastestTier().ID
+	period := float64(p.opts.SamplePeriod)
+
+	gain := predict.EpochGain(m, p.opts.Cores, int64(float64(gainSamples)*period), slow, fast)
+	loss := predict.EpochGain(m, p.opts.Cores, int64(float64(demoteSamples)*period), slow, fast)
+	net := float64(gain) - float64(loss)
+
+	horizon := p.opts.HorizonEpochs
+	if p.opts.TotalEpochs > 0 {
+		rem := float64(p.opts.TotalEpochs - info.Index - 1)
+		switch {
+		case rem < 0:
+			// The estimate has provably run out while the run keeps
+			// going (e.g. a refs trigger outpaced an iteration-based
+			// TotalEpochs): ignore the cap rather than freeze the
+			// placer at a zero horizon for the rest of the run.
+		case rem < horizon:
+			horizon = rem
+		}
+	}
+	return net*horizon > float64(moveCost)*p.opts.Hysteresis
+}

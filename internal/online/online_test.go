@@ -1,0 +1,186 @@
+package online_test
+
+import (
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/alloc"
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/callstack"
+	"repro/internal/engine"
+	"repro/internal/interpose"
+	"repro/internal/online"
+	"repro/internal/paramedir"
+	"repro/internal/units"
+)
+
+const testPeriod = 1499
+
+// runStatic drives the paper's offline pipeline — profile on DDR,
+// analyze, advise Misses(0) for the budget, execute under
+// auto-hbwmalloc — and returns the production run.
+func runStatic(t *testing.T, w *engine.Workload, budget int64, seed uint64) *engine.Result {
+	t.Helper()
+	prof, err := engine.Run(w, engine.Config{
+		Machine: apps.MachineFor(w), Seed: seed, MakePolicy: baseline.DDR(),
+		Monitor: &engine.MonitorConfig{SamplePeriod: testPeriod, MinAllocSize: 4 * units.KB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := paramedir.Analyze(prof.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := advisor.Advise(pr.App, advisor.FromProfile(pr), advisor.TwoTier(budget), advisor.MissesStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(w, engine.Config{
+		Machine: apps.MachineFor(w), Seed: seed + 0x9e37,
+		MakePolicy: interpose.Factory(rep, interpose.Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runOnline executes w under the online adaptive placer, returning the
+// run result and the policy for its statistics. The production seed
+// offset matches runStatic's, so both face the same ASLR layout.
+func runOnline(t *testing.T, w *engine.Workload, opts online.Options, seed uint64) (*engine.Result, *online.Policy) {
+	t.Helper()
+	m := apps.MachineFor(w)
+	opts.Machine = m
+	if opts.SamplePeriod == 0 {
+		opts.SamplePeriod = testPeriod
+	}
+	if opts.TotalEpochs == 0 {
+		every := opts.EveryIterations
+		if every <= 0 {
+			every = 1
+		}
+		opts.TotalEpochs = w.Iterations / every
+	}
+	var pol *online.Policy
+	res, err := engine.Run(w, engine.Config{
+		Machine: m, Seed: seed + 0x9e37,
+		MakePolicy: func(mk *alloc.Memkind, prog *callstack.Program) (engine.Policy, error) {
+			p, err := online.New(mk, prog, opts)
+			pol = p
+			return p, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, pol
+}
+
+// TestOnlineBeatsStaticOnPhaseShift is the subsystem's reason to
+// exist: when the hot set rotates, epoch-driven re-advising with live
+// migration must outperform the best one-shot placement at the same
+// budget.
+func TestOnlineBeatsStaticOnPhaseShift(t *testing.T) {
+	w := apps.PhaseShift()
+	// One rotating group exactly: a one-shot placement can serve at
+	// most one of the three slots from fast memory, however the ties
+	// break; the online placer serves nearly all of them.
+	const budget = 16 * units.MB
+	static := runStatic(t, apps.PhaseShift(), budget, 7)
+	res, pol := runOnline(t, w, online.Options{Budget: budget}, 7)
+
+	if res.Migrations == 0 {
+		t.Fatal("online run never migrated — it is not adapting")
+	}
+	st := pol.Stats()
+	if st.MoveEpochs < 2 {
+		t.Fatalf("move epochs = %d, want re-placements across slot switches (stats: %+v)", st.MoveEpochs, st)
+	}
+	if res.FOM <= static.FOM {
+		t.Fatalf("online FOM %.3f did not beat static misses(0) FOM %.3f (migrated %d MB in %d epochs)",
+			res.FOM, static.FOM, res.MigratedBytes/units.MB, st.MoveEpochs)
+	}
+}
+
+// TestHysteresisKeepsStableWorkloadQuiet: on HPCG the hot set never
+// moves and the live working set is large relative to the gain a
+// short scaled run can harvest — the cost-benefit gate must keep
+// migration traffic at zero rather than churn data mid-run.
+func TestHysteresisKeepsStableWorkloadQuiet(t *testing.T) {
+	w, err := apps.ByName("hpcg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, pol := runOnline(t, w, online.Options{Budget: 128 * units.MB}, 7)
+	st := pol.Stats()
+	if st.Epochs == 0 || st.SamplesAttributed == 0 {
+		t.Fatalf("monitor never engaged: %+v", st)
+	}
+	if res.Migrations != 0 || res.MigratedBytes != 0 {
+		t.Fatalf("stable workload migrated %d regions / %d bytes, want zero (stats: %+v)",
+			res.Migrations, res.MigratedBytes, st)
+	}
+	if st.GateRejected == 0 {
+		t.Fatalf("gate never evaluated a plan — quiet run is vacuous: %+v", st)
+	}
+}
+
+// TestGateBlocksEverythingAtInfiniteHysteresis: the hysteresis knob
+// must be able to pin the placer down entirely.
+func TestGateBlocksEverythingAtInfiniteHysteresis(t *testing.T) {
+	res, pol := runOnline(t, apps.PhaseShift(), online.Options{
+		Budget: 32 * units.MB, Hysteresis: 1e12,
+	}, 7)
+	if res.Migrations != 0 {
+		t.Fatalf("migrated %d regions despite infinite hysteresis", res.Migrations)
+	}
+	if pol.Stats().GateRejected == 0 {
+		t.Fatal("gate never rejected — plans were not even considered")
+	}
+}
+
+// TestOnlineRespectsBudget: bound fast bytes never exceed the budget.
+func TestOnlineRespectsBudget(t *testing.T) {
+	const budget = 32 * units.MB
+	res, pol := runOnline(t, apps.PhaseShift(), online.Options{Budget: budget}, 11)
+	if pol.FastUsed() > budget {
+		t.Fatalf("fast usage %d exceeds budget %d", pol.FastUsed(), budget)
+	}
+	if res.Epochs == 0 {
+		t.Fatal("engine reported no epochs")
+	}
+}
+
+func TestAggregatorDecayTracksPhaseChange(t *testing.T) {
+	a := online.NewAggregator(0.5)
+	// Three epochs of a hot site, then it goes cold while another
+	// heats up: the newcomer must overtake within one epoch.
+	for i := 0; i < 3; i++ {
+		a.Add("old", 100)
+		a.EndEpoch()
+	}
+	oldPeak := a.Score("old")
+	a.Add("new", 100)
+	if a.Score("new") <= a.Score("old") {
+		t.Fatalf("fresh site (%.1f) did not overtake decayed one (%.1f)", a.Score("new"), a.Score("old"))
+	}
+	a.EndEpoch()
+	for i := 0; i < 20; i++ {
+		a.EndEpoch()
+	}
+	if a.Score("old") >= oldPeak/100 {
+		t.Fatalf("cold site score %.4f did not decay from %.1f", a.Score("old"), oldPeak)
+	}
+}
+
+func TestAggregatorBadDecayFallsBack(t *testing.T) {
+	if d := online.NewAggregator(-3).Decay(); d != 0.35 {
+		t.Fatalf("decay = %v, want 0.35 fallback", d)
+	}
+	if d := online.NewAggregator(0.9).Decay(); d != 0.9 {
+		t.Fatalf("decay = %v, want 0.9", d)
+	}
+}

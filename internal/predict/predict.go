@@ -240,6 +240,28 @@ func (r *replayer) finish(rep *advisor.Report) (*Prediction, error) {
 	return pred, nil
 }
 
+// EpochGain estimates the cycles an epoch saves when `misses` of its
+// line-sized LLC misses are served by tier `to` instead of `from` — the same
+// sample-expansion idea as Replay, reduced to one epoch's miss volume
+// so the online placer can weigh predicted gain against migration
+// cost without a full trace. Returns zero when the move would not
+// help.
+func EpochGain(m *mem.Machine, cores int, misses int64, from, to mem.TierID) units.Cycles {
+	if misses <= 0 || from == to {
+		return 0
+	}
+	was := mem.NewTraffic()
+	was.AddBulk(from, misses, m.LineSize)
+	now := mem.NewTraffic()
+	now.AddBulk(to, misses, m.LineSize)
+	before := was.MemoryTime(m, cores)
+	after := now.MemoryTime(m, cores)
+	if after >= before {
+		return 0
+	}
+	return before - after
+}
+
 // RankPlacements replays the trace against several candidate reports
 // and returns their indices ordered by predicted speedup, best first —
 // the screening use case the paper envisions.

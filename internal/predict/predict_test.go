@@ -149,3 +149,25 @@ func TestReplayPhaseSpeedups(t *testing.T) {
 		t.Errorf("octsweep speedup (%v) should exceed outer_src_calc (%v): stack not movable", oct, outer)
 	}
 }
+
+func TestEpochGain(t *testing.T) {
+	m := mem.DefaultKNL()
+	if g := EpochGain(&m, m.Cores, 0, mem.TierDDR, mem.TierMCDRAM); g != 0 {
+		t.Errorf("zero misses gained %d", g)
+	}
+	if g := EpochGain(&m, m.Cores, 1_000_000, mem.TierDDR, mem.TierDDR); g != 0 {
+		t.Errorf("same-tier move gained %d", g)
+	}
+	up := EpochGain(&m, m.Cores, 1_000_000, mem.TierDDR, mem.TierMCDRAM)
+	if up <= 0 {
+		t.Fatalf("promoting a million misses gained %d cycles", up)
+	}
+	// Demotion can only lose time, and EpochGain clamps at zero.
+	if g := EpochGain(&m, m.Cores, 1_000_000, mem.TierMCDRAM, mem.TierDDR); g != 0 {
+		t.Errorf("demotion predicted a gain of %d", g)
+	}
+	// More misses, more gain.
+	if more := EpochGain(&m, m.Cores, 2_000_000, mem.TierDDR, mem.TierMCDRAM); more <= up {
+		t.Errorf("gain did not grow with miss volume: %d vs %d", more, up)
+	}
+}
