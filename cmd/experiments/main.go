@@ -7,6 +7,7 @@
 //	experiments -fig 4      per-app FOM / HWM / ΔFOM-per-MB grids (Figure 4)
 //	experiments -fig 5      SNAP folded timeline (Figure 5)
 //	experiments -online     static advisor vs online adaptive placement
+//	experiments -ntier      three-tier (DDR+MCDRAM+NVM) placement sweep
 //	experiments -all        everything, in paper order
 //
 // Use -app to restrict Figure 4 and the -online table to one
@@ -30,6 +31,7 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 3, 4, 5)")
 	table := flag.Int("table", 0, "table to regenerate (1)")
 	onl := flag.Bool("online", false, "compare static advisor vs online adaptive placement")
+	ntier := flag.Bool("ntier", false, "three-tier placement sweep on a KNL+Optane node")
 	all := flag.Bool("all", false, "regenerate everything")
 	app := flag.String("app", "", "restrict -fig 4 and -online to one application")
 	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
@@ -63,6 +65,10 @@ func main() {
 	}
 	if *all || *onl {
 		onlineTable(*app, *scale)
+		any = true
+	}
+	if *all || *ntier {
+		ntierTable(*scale)
 		any = true
 	}
 	if !any {
@@ -278,6 +284,53 @@ func onlineTable(only string, scale float64) {
 			onl.Epochs, onl.MigratedBytes/units.MB,
 			hm.ImprovementPct(onl.FOM, pr.Run.FOM))
 	}
+	tw.Flush()
+}
+
+// ntierTable sweeps the three-tier KNL+Optane node: per MCDRAM
+// budget, the placement-oblivious DDR run, the paper's two-tier
+// advisor (whose DDR overflow spills to NVM by allocation order), the
+// N-tier waterfall (which banishes cold data to NVM explicitly), and
+// the online placer re-solving the same waterfall per epoch.
+func ntierTable(scale float64) {
+	header("Three-tier sweep: DDR 1.5 GB + MCDRAM + NVM 8 GB per rank (ntierdemo)")
+	w := hm.NTierDemoWorkload()
+	m := hm.PerRankMachine(hm.KNLOptane(), w.Ranks, w.Threads)
+	cfg := hm.ExecuteConfig{Machine: m, Seed: 42, RefScale: scale}
+
+	ddr, err := hm.RunBaseline(w, hm.BaselineDDR, cfg)
+	check(err)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "config\t%s\tMCDRAM MB\tNVM MB\tvs DDR%%\n", w.FOMUnit)
+	row := func(label string, res *hm.RunResult) {
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%d\t%+.1f%%\n",
+			label, res.FOM,
+			res.TierHWMs[hm.TierMCDRAM]/units.MB,
+			res.TierHWMs[hm.TierNVM]/units.MB,
+			hm.ImprovementPct(res.FOM, ddr.FOM))
+	}
+	row("ddr (oblivious)", ddr)
+	for _, budget := range []int64{64 * units.MB, 128 * units.MB, 256 * units.MB} {
+		two, err := hm.Pipeline(w, hm.PipelineConfig{
+			Machine: m, Seed: 42, Budget: budget, RefScale: scale,
+		})
+		check(err)
+		row(fmt.Sprintf("two-tier @%s", units.HumanBytes(budget)), two.Run)
+
+		mc := hm.MemoryConfigFor(m, budget)
+		ntier, err := hm.Pipeline(w, hm.PipelineConfig{
+			Machine: m, Seed: 42, Memory: &mc, RefScale: scale,
+		})
+		check(err)
+		row(fmt.Sprintf("waterfall @%s", units.HumanBytes(budget)), ntier.Run)
+	}
+	onl, err := hm.RunOnline(w, hm.OnlineConfig{
+		Machine: m, Seed: 42, RefScale: scale, Budget: 256 * units.MB,
+	})
+	check(err)
+	row("online @256 MB", onl)
+	fmt.Fprintf(tw, "online epochs/migrated MB\t%d\t%d\t\t\n", onl.Epochs, onl.MigratedBytes/units.MB)
 	tw.Flush()
 }
 

@@ -77,6 +77,12 @@ type (
 	PlacementReport = advisor.Report
 	// Strategy selects objects for the fast-memory knapsack.
 	Strategy = advisor.Strategy
+	// MemoryConfig is the tier hierarchy the advisor packs against.
+	MemoryConfig = advisor.MemoryConfig
+	// TierConfig describes one tier of a MemoryConfig.
+	TierConfig = advisor.TierConfig
+	// TierID identifies a memory tier of a Machine.
+	TierID = mem.TierID
 	// InterposeOptions tunes the auto-hbwmalloc library.
 	InterposeOptions = interpose.Options
 	// InterposeStats are auto-hbwmalloc's execution statistics.
@@ -122,8 +128,25 @@ func StrategyMisses(thresholdPct float64) Strategy {
 	return advisor.MissesStrategy{Threshold: thresholdPct}
 }
 
+// Well-known tier IDs of the shipped machine configurations.
+const (
+	TierDDR    = mem.TierDDR
+	TierMCDRAM = mem.TierMCDRAM
+	TierNVM    = mem.TierNVM
+	TierHBM    = mem.TierHBM
+	TierCXL    = mem.TierCXL
+)
+
 // DefaultKNL returns the reference Xeon Phi 7250-like node.
 func DefaultKNL() Machine { return mem.DefaultKNL() }
+
+// KNLOptane returns the three-tier KNL node: DDR + MCDRAM plus an
+// Optane-class NVM floor slower than DDR.
+func KNLOptane() Machine { return mem.KNLOptane() }
+
+// HBMCXL returns the HBM-first node with DDR as the default tier and a
+// CXL memory expander below it.
+func HBMCXL() Machine { return mem.HBMCXL() }
 
 // PerRankMachine derives the machine one MPI rank sees on a node
 // shared by ranks ranks of threads threads each.
@@ -149,6 +172,11 @@ func WorkloadNames() []string { return apps.Names() }
 
 // StreamWorkload returns the STREAM Triad kernel of Figure 1.
 func StreamWorkload() *Workload { return apps.Stream() }
+
+// NTierDemoWorkload returns the three-tier showcase: a rank whose
+// footprint exceeds DDR+MCDRAM and whose hot set exceeds MCDRAM, run
+// on PerRankMachine(KNLOptane(), 64, 4). See examples/ntier.
+func NTierDemoWorkload() *Workload { return apps.NTierDemo() }
 
 // StreamCoreCounts returns Figure 1's core-count sweep.
 func StreamCoreCounts() []int { return apps.StreamCoreCounts() }
@@ -329,12 +357,80 @@ func ProfileWithPolicy(w *Workload, cfg ProfileConfig, rep *PlacementReport) (*T
 func Analyze(tr *Trace) (*ObjectProfile, error) { return paramedir.Analyze(tr) }
 
 // Advise is Stage 3: select the objects to promote into a fast-memory
-// budget using the given strategy.
+// budget using the given strategy. It is the paper-reproduction
+// two-tier wrapper around AdviseHierarchy: packing the classic
+// MCDRAM+DDR configuration, it produces reports byte-identical to the
+// original single-knapsack hmem_advisor.
 func Advise(prof *ObjectProfile, budget int64, strat Strategy) (*PlacementReport, error) {
 	if prof == nil {
 		return nil, fmt.Errorf("hybridmem: nil profile")
 	}
 	return advisor.Advise(prof.App, advisor.FromProfile(prof), advisor.TwoTier(budget), strat)
+}
+
+// TwoTier returns the classic MCDRAM+DDR advisor configuration with
+// the given fast-tier budget — the memory configuration file of the
+// paper's hmem_advisor.
+func TwoTier(fastBudget int64) MemoryConfig { return advisor.TwoTier(fastBudget) }
+
+// NTier builds an advisor configuration from an arbitrary tier list.
+// The tier named "DDR" (when present) becomes the default tier —
+// untargeted allocations land there and tiers slower than it receive
+// explicit placement entries; without a DDR tier the slowest tier is
+// the implicit default, the paper's two-tier semantics. Set
+// MemoryConfig.DefaultTier to override.
+func NTier(tiers ...TierConfig) MemoryConfig {
+	mc := MemoryConfig{Tiers: tiers}
+	for _, t := range tiers {
+		if t.Name == "DDR" {
+			mc.DefaultTier = "DDR"
+			break
+		}
+	}
+	return mc
+}
+
+// MemoryConfigFor derives the advisor configuration from a simulated
+// machine — every tier with its capacity and relative performance,
+// the machine's default tier marked — replacing the fastest tier's
+// capacity with fastBudget when positive (the paper's per-rank budget
+// sweep).
+func MemoryConfigFor(m Machine, fastBudget int64) MemoryConfig {
+	return advisor.FromMachine(&m, fastBudget)
+}
+
+// AdviseHierarchy is the N-tier Stage 3: waterfall-pack the profiled
+// objects over an arbitrary tier hierarchy — fill the fastest tier,
+// cascade the overflow down — recording a target tier per object.
+// Objects assigned to the default tier get no entry; on machines with
+// tiers slower than the default the coldest objects receive explicit
+// entries banishing them below it, which is what protects warm data
+// from landing on the NVM/CXL floor by allocation-order accident.
+func AdviseHierarchy(prof *ObjectProfile, mc MemoryConfig, strat Strategy) (*PlacementReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("hybridmem: nil profile")
+	}
+	return advisor.Advise(prof.App, advisor.FromProfile(prof), mc, strat)
+}
+
+// AdviseHierarchyTimeAware is AdviseTimeAware over an arbitrary
+// hierarchy: per-tier peak-concurrent-footprint packing.
+func AdviseHierarchyTimeAware(prof *ObjectProfile, mc MemoryConfig, strat Strategy) (*PlacementReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("hybridmem: nil profile")
+	}
+	return advisor.AdviseTimeAware(prof.App, advisor.FromProfileTimed(prof), mc, strat)
+}
+
+// AdviseHierarchyPartitioned is AdvisePartitioned over an arbitrary
+// hierarchy: whole-or-hot-range packing on the fastest tier, plain
+// waterfall below it.
+func AdviseHierarchyPartitioned(prof *ObjectProfile, tr *Trace, mc MemoryConfig, strat Strategy) (*PlacementReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("hybridmem: nil profile")
+	}
+	hot := paramedir.AnalyzeHotRanges(prof, tr)
+	return advisor.AdvisePartitioned(prof.App, advisor.FromProfile(prof), hot, mc, strat)
 }
 
 // AdviseTimeAware is the liveness-aware variant of Advise suggested in
@@ -449,8 +545,12 @@ type OnlineConfig struct {
 	Seed     uint64
 	RefScale float64
 	// Budget is the fast-memory budget the placer may bind (0 = the
-	// machine's whole MCDRAM tier).
+	// machine's whole fastest tier).
 	Budget int64
+	// Budgets optionally caps the bytes bound per additional
+	// non-default tier (e.g. an NVM floor); missing tiers default to
+	// their capacity.
+	Budgets map[TierID]int64
 	// EveryIterations / EveryRefs set the epoch length (both 0 =
 	// every iteration).
 	EveryIterations int
@@ -474,11 +574,10 @@ type OnlineConfig struct {
 func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
 	budget := cfg.Budget
 	if budget <= 0 {
-		mc, ok := cfg.Machine.Tier(mem.TierMCDRAM)
-		if !ok {
-			return nil, fmt.Errorf("hybridmem: machine lacks an MCDRAM tier")
+		if len(cfg.Machine.Tiers) == 0 {
+			return nil, fmt.Errorf("hybridmem: machine has no memory tiers")
 		}
-		budget = mc.Capacity
+		budget = cfg.Machine.FastestTier().Capacity
 	}
 	// The horizon cap is only knowable for purely iteration-counted
 	// epochs; a refs trigger can close epochs at phase granularity,
@@ -496,6 +595,7 @@ func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
 		RefScale: cfg.RefScale,
 		MakePolicy: online.Factory(online.Options{
 			Machine: cfg.Machine, Cores: cfg.Cores, Budget: budget,
+			Budgets:         cfg.Budgets,
 			EveryIterations: cfg.EveryIterations, EveryRefs: cfg.EveryRefs,
 			SamplePeriod: cfg.SamplePeriod, Decay: cfg.Decay,
 			Hysteresis: cfg.Hysteresis, HorizonEpochs: cfg.HorizonEpochs,
@@ -515,6 +615,11 @@ type PipelineConfig struct {
 	RefScale     float64
 	// Budget is the fast-memory budget per rank.
 	Budget int64
+	// Memory, when non-nil, makes the advise stage waterfall-pack this
+	// hierarchy (AdviseHierarchy) instead of the two-tier
+	// TwoTier(Budget) configuration — the N-tier pipeline. Budget is
+	// ignored when Memory is set.
+	Memory *MemoryConfig
 	// Strategy is the hmem_advisor packing strategy.
 	Strategy Strategy
 	// TimeAware selects with AdviseTimeAware (peak-concurrent budget)
@@ -539,8 +644,8 @@ func Pipeline(w *Workload, cfg PipelineConfig) (*PipelineResult, error) {
 	if cfg.Strategy == nil {
 		cfg.Strategy = StrategyMisses(0)
 	}
-	if cfg.Budget <= 0 {
-		return nil, fmt.Errorf("hybridmem: Pipeline needs a positive Budget")
+	if cfg.Budget <= 0 && cfg.Memory == nil {
+		return nil, fmt.Errorf("hybridmem: Pipeline needs a positive Budget or a Memory hierarchy")
 	}
 	tr, profRun, err := Profile(w, ProfileConfig{
 		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
@@ -554,11 +659,17 @@ func Pipeline(w *Workload, cfg PipelineConfig) (*PipelineResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: analyze stage: %w", err)
 	}
-	advise := Advise
-	if cfg.TimeAware {
-		advise = AdviseTimeAware
+	var rep *PlacementReport
+	switch {
+	case cfg.Memory != nil && cfg.TimeAware:
+		rep, err = AdviseHierarchyTimeAware(prof, *cfg.Memory, cfg.Strategy)
+	case cfg.Memory != nil:
+		rep, err = AdviseHierarchy(prof, *cfg.Memory, cfg.Strategy)
+	case cfg.TimeAware:
+		rep, err = AdviseTimeAware(prof, cfg.Budget, cfg.Strategy)
+	default:
+		rep, err = Advise(prof, cfg.Budget, cfg.Strategy)
 	}
-	rep, err := advise(prof, cfg.Budget, cfg.Strategy)
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: advise stage: %w", err)
 	}

@@ -338,3 +338,142 @@ func TestAdviseThreeTiers(t *testing.T) {
 		t.Fatalf("budget = %d", rep.Budget)
 	}
 }
+
+func TestAdviseDefaultTierMidHierarchy(t *testing.T) {
+	// DDR default in the MIDDLE of the hierarchy: the fastest tier
+	// fills first, DDR keeps the best of the overflow implicitly (no
+	// entries), and the coldest objects get EXPLICIT entries banishing
+	// them to the NVM floor.
+	mc := MemoryConfig{
+		Tiers: []TierConfig{
+			{Name: "MCDRAM", Capacity: 8 * units.MB, RelativePerf: 4.8},
+			{Name: "DDR", Capacity: 32 * units.MB, RelativePerf: 1},
+			{Name: "NVM", Capacity: 512 * units.MB, RelativePerf: 0.4},
+		},
+		DefaultTier: "DDR",
+	}
+	objs := []Object{
+		obj("hottest", 8, 1000),
+		obj("warm", 32, 500),
+		obj("cold", 32, 10),
+	}
+	rep, err := Advise("app", objs, mc, MissesStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := map[string]string{}
+	for _, e := range rep.Entries {
+		tiers[e.ID] = e.Tier
+	}
+	if tiers["hottest"] != "MCDRAM" {
+		t.Fatalf("hottest on %q, want MCDRAM", tiers["hottest"])
+	}
+	if _, has := tiers["warm"]; has {
+		t.Fatalf("warm got an entry (%q) despite fitting the default tier", tiers["warm"])
+	}
+	if tiers["cold"] != "NVM" {
+		t.Fatalf("cold on %q, want explicit NVM banishment", tiers["cold"])
+	}
+	// N-tier reports are self-describing: per-tier budgets recorded.
+	if len(rep.Tiers) != 2 || rep.Tiers[0].Name != "MCDRAM" || rep.Tiers[1].Name != "NVM" {
+		t.Fatalf("report tiers = %+v", rep.Tiers)
+	}
+	if rep.TierBudgetFor("NVM") != 512*units.MB {
+		t.Fatalf("NVM budget = %d", rep.TierBudgetFor("NVM"))
+	}
+	// Targets resolve per site.
+	targets := rep.SiteTargets()
+	if targets[objs[2].Site] != "NVM" || targets[objs[0].Site] != "MCDRAM" {
+		t.Fatalf("site targets = %v", targets)
+	}
+}
+
+func TestNTierReportRoundTrip(t *testing.T) {
+	mc := MemoryConfig{
+		Tiers: []TierConfig{
+			{Name: "HBM", Capacity: 8 * units.MB, RelativePerf: 5},
+			{Name: "DDR", Capacity: 16 * units.MB, RelativePerf: 1},
+			{Name: "CXL", Capacity: 256 * units.MB, RelativePerf: 0.3},
+		},
+		DefaultTier: "DDR",
+	}
+	objs := []Object{obj("a", 4, 900), obj("b", 16, 500), obj("c", 24, 3)}
+	rep, err := Advise("app", objs, mc, DensityStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tiers) != 2 {
+		t.Fatalf("expected per-tier budgets in an N-tier report, got %+v", rep.Tiers)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tier\tHBM\t") {
+		t.Fatalf("serialized report lacks tier lines:\n%s", buf.String())
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestMemoryConfigValidateNTier(t *testing.T) {
+	base := MemoryConfig{
+		Tiers: []TierConfig{
+			{Name: "MCDRAM", Capacity: 8 * units.MB, RelativePerf: 4.8},
+			{Name: "DDR", Capacity: 32 * units.MB, RelativePerf: 1},
+		},
+	}
+	dupe := base
+	dupe.Tiers = append([]TierConfig(nil), base.Tiers...)
+	dupe.Tiers = append(dupe.Tiers, TierConfig{Name: "DDR", Capacity: units.MB, RelativePerf: 0.5})
+	if err := dupe.Validate(); err == nil {
+		t.Fatal("duplicate tier name accepted")
+	}
+	missing := base
+	missing.DefaultTier = "NVM"
+	if err := missing.Validate(); err == nil {
+		t.Fatal("default tier outside configuration accepted")
+	}
+	ok := base
+	ok.DefaultTier = "DDR"
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinglePackedFloorReportIsSelfDescribing(t *testing.T) {
+	// A DDR(default, fastest) + NVM config packs exactly ONE tier —
+	// the floor. Such a report is all "banish" entries; it must carry
+	// its per-tier budgets so readers (interposer, replayer) never
+	// mistake it for a legacy promote-everything report.
+	mc := MemoryConfig{
+		Tiers: []TierConfig{
+			{Name: "DDR", Capacity: 16 * units.MB, RelativePerf: 1},
+			{Name: "NVM", Capacity: 512 * units.MB, RelativePerf: 0.4},
+		},
+		DefaultTier: "DDR",
+	}
+	objs := []Object{obj("hot", 8, 1000), obj("cold", 16, 5)}
+	rep, err := Advise("app", objs, mc, MissesStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tiers) != 1 || rep.Tiers[0].Name != "NVM" {
+		t.Fatalf("single-floor report not self-describing: Tiers=%+v", rep.Tiers)
+	}
+	tiers := map[string]string{}
+	for _, e := range rep.Entries {
+		tiers[e.ID] = e.Tier
+	}
+	if _, has := tiers["hot"]; has {
+		t.Fatalf("hot object displaced off the default tier: %v", tiers)
+	}
+	if tiers["cold"] != "NVM" {
+		t.Fatalf("cold object on %q, want NVM", tiers["cold"])
+	}
+}

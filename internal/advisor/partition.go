@@ -2,7 +2,6 @@ package advisor
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/paramedir"
 	"repro/internal/units"
@@ -22,9 +21,13 @@ import (
 const partitionMinShare = 0.70
 
 // AdvisePartitioned packs like the stock advisor but, when a candidate
-// does not fit the remaining budget as a whole, tries its hot range
-// instead. Partition entries carry PartOffset/PartSize and their
-// misses are discounted by the range's sample share.
+// does not fit the FASTEST tier's remaining budget as a whole, tries
+// its hot range instead. Partition entries carry PartOffset/PartSize
+// and their misses are discounted by the range's sample share.
+// Whole-object rejects (and the cold remainder of partitioned objects'
+// sites) cascade down the rest of the hierarchy with the plain
+// waterfall — partitioning only ever targets the fastest tier, where
+// the page-level mbind is worth its bookkeeping.
 func AdvisePartitioned(app string, objs []Object, hot map[string]paramedir.HotRange,
 	mc MemoryConfig, strat Strategy) (*Report, error) {
 	if err := mc.Validate(); err != nil {
@@ -33,16 +36,20 @@ func AdvisePartitioned(app string, objs []Object, hot map[string]paramedir.HotRa
 	if strat == nil {
 		return nil, fmt.Errorf("advisor: nil strategy")
 	}
-	tiers := append([]TierConfig(nil), mc.Tiers...)
-	sort.SliceStable(tiers, func(i, j int) bool { return tiers[i].RelativePerf > tiers[j].RelativePerf })
+	tiers, def := mc.hierarchy()
 	fast := tiers[0]
 
-	// Strategy supplies the order (unbounded pack); the fit loop below
-	// applies whole-or-partition placement.
-	ordered := strat.Select(objs, 1<<62)
+	// Strategy supplies the order (footprint-covering pack); the fit
+	// loop below applies whole-or-partition placement.
+	ordered := strat.Select(objs, ClampBudget(objs, 1<<62))
 
 	rep := &Report{App: app, Strategy: strat.Name() + "+partition", Budget: fast.Capacity}
+	var packed []TierBudget
+	if fast.Name != def {
+		packed = append(packed, TierBudget{Name: fast.Name, Capacity: fast.Capacity})
+	}
 	remaining := fast.Capacity / units.PageSize
+	var overflow []Object
 	for _, o := range ordered {
 		pages := o.pages()
 		if pages > 0 && pages <= remaining {
@@ -56,10 +63,12 @@ func AdvisePartitioned(app string, objs []Object, hot map[string]paramedir.HotRa
 		// Whole object does not fit: try the hot range.
 		hr, ok := hot[o.ID]
 		if !ok || o.Static || hr.SampleShare < partitionMinShare || hr.Size >= o.Size {
+			overflow = append(overflow, o)
 			continue
 		}
 		hp := units.PagesFor(hr.Size)
 		if hp == 0 || hp > remaining {
+			overflow = append(overflow, o)
 			continue
 		}
 		remaining -= hp
@@ -69,6 +78,24 @@ func AdvisePartitioned(app string, objs []Object, hot map[string]paramedir.HotRa
 			PartOffset: hr.Offset, PartSize: hr.Size,
 		})
 	}
+	// Waterfall the whole-object overflow down the remaining tiers.
+	for i, tier := range tiers[1:] {
+		if tier.Name == def && i == len(tiers)-2 {
+			break // trailing default absorbs the remainder implicitly
+		}
+		chosen := strat.Select(overflow, ClampBudget(overflow, tier.Capacity))
+		if tier.Name != def {
+			packed = append(packed, TierBudget{Name: tier.Name, Capacity: tier.Capacity})
+			for _, o := range chosen {
+				rep.Entries = append(rep.Entries, Entry{
+					Tier: tier.Name, ID: o.ID, Site: o.Site, Size: o.Size,
+					Misses: o.Misses, Static: o.Static,
+				})
+			}
+		}
+		overflow = filterOut(overflow, chosen)
+	}
+	rep.Tiers = tiersForReport(packed, tiers[0].Name)
 	rep.computeSizeBounds()
 	return rep, nil
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/callstack"
+	"repro/internal/mem"
 	"repro/internal/units"
 )
 
@@ -21,9 +22,19 @@ type TierConfig struct {
 	RelativePerf float64
 }
 
-// MemoryConfig is the machine description the advisor packs against.
+// MemoryConfig is the machine description the advisor packs against:
+// an ordered hierarchy of tiers plus the name of the tier plain malloc
+// is backed by.
 type MemoryConfig struct {
 	Tiers []TierConfig
+	// DefaultTier names the tier untargeted allocations land on (the
+	// OS default). Objects the waterfall assigns to it get no report
+	// entry — they need no interposition. Empty selects the slowest
+	// tier, which reproduces the paper's two-tier advisor exactly; on
+	// machines with tiers *slower* than the default (DDR+NVM), naming
+	// the default makes the waterfall emit explicit entries for the
+	// cold objects it banishes below it.
+	DefaultTier string
 }
 
 // TwoTier returns the common DDR+MCDRAM configuration with the given
@@ -35,12 +46,37 @@ func TwoTier(fastBudget int64) MemoryConfig {
 	}}
 }
 
+// FromMachine derives the advisor configuration from a simulated
+// machine: every tier with its capacity and relative performance, the
+// machine's default tier as the advisor default, and — when fastBudget
+// is positive — the fastest tier's capacity replaced by the per-rank
+// budget the paper sweeps.
+func FromMachine(m *mem.Machine, fastBudget int64) MemoryConfig {
+	hier := m.Hierarchy()
+	mc := MemoryConfig{DefaultTier: m.DefaultTier().Name}
+	for i, t := range hier {
+		cap := t.Capacity
+		if i == 0 && fastBudget > 0 {
+			cap = fastBudget
+		}
+		mc.Tiers = append(mc.Tiers, TierConfig{
+			Name: t.Name, Capacity: cap, RelativePerf: t.RelativePerf,
+		})
+	}
+	return mc
+}
+
 // Validate reports configuration errors.
 func (mc *MemoryConfig) Validate() error {
 	if len(mc.Tiers) < 2 {
 		return fmt.Errorf("advisor: need at least two tiers, got %d", len(mc.Tiers))
 	}
+	names := make(map[string]bool, len(mc.Tiers))
 	for _, t := range mc.Tiers {
+		if names[t.Name] {
+			return fmt.Errorf("advisor: duplicate tier name %q", t.Name)
+		}
+		names[t.Name] = true
 		if t.Capacity <= 0 {
 			return fmt.Errorf("advisor: tier %q capacity must be positive", t.Name)
 		}
@@ -48,7 +84,67 @@ func (mc *MemoryConfig) Validate() error {
 			return fmt.Errorf("advisor: tier %q relative perf must be positive", t.Name)
 		}
 	}
+	if mc.DefaultTier != "" && !names[mc.DefaultTier] {
+		return fmt.Errorf("advisor: default tier %q not in configuration", mc.DefaultTier)
+	}
 	return nil
+}
+
+// hierarchy returns the tiers sorted fastest first plus the effective
+// default tier name.
+func (mc *MemoryConfig) hierarchy() ([]TierConfig, string) {
+	tiers := append([]TierConfig(nil), mc.Tiers...)
+	sort.SliceStable(tiers, func(i, j int) bool { return tiers[i].RelativePerf > tiers[j].RelativePerf })
+	def := mc.DefaultTier
+	if def == "" {
+		def = tiers[len(tiers)-1].Name
+	}
+	return tiers, def
+}
+
+// ClampBudget bounds a knapsack budget by the candidates' total
+// page-aligned footprint: budget beyond what every object together
+// occupies changes no strategy's selection, and for ExactDP it is the
+// difference between a footprint-sized DP table and a pseudo-
+// polynomial blow-up over a multi-hundred-gigabyte floor tier.
+func ClampBudget(objs []Object, budget int64) int64 {
+	var total int64
+	for _, o := range objs {
+		total += units.PageAlign(o.Size)
+	}
+	if total < budget {
+		return total
+	}
+	return budget
+}
+
+// filterOut returns remaining minus the chosen objects, reusing
+// remaining's storage (the waterfall's cascade step).
+func filterOut(remaining, chosen []Object) []Object {
+	inChosen := make(map[string]bool, len(chosen))
+	for _, o := range chosen {
+		inChosen[o.ID] = true
+	}
+	next := remaining[:0]
+	for _, o := range remaining {
+		if !inChosen[o.ID] {
+			next = append(next, o)
+		}
+	}
+	return next
+}
+
+// tiersForReport decides whether a report must carry explicit
+// per-tier budgets: any packing beyond "one knapsack on the fastest
+// tier" is not expressible in the legacy two-tier format — including
+// a SINGLE packed tier that is not the fastest (a DDR+NVM config
+// packs only the floor), which a reader would otherwise misread as a
+// promote-everything report.
+func tiersForReport(packed []TierBudget, fastest string) []TierBudget {
+	if len(packed) == 0 || (len(packed) == 1 && packed[0].Name == fastest) {
+		return nil
+	}
+	return packed
 }
 
 // Entry is one promoted object in the advisor report.
@@ -67,6 +163,14 @@ type Entry struct {
 	PartSize   int64
 }
 
+// TierBudget records one packed tier of an N-tier report: its name and
+// the byte budget the waterfall filled it against. auto-hbwmalloc uses
+// it to enforce per-tier budgets at run time.
+type TierBudget struct {
+	Name     string
+	Capacity int64
+}
+
 // Report is hmem_advisor's output: the objects to place on each
 // non-default tier, plus the lb/ub size pre-filter bounds the
 // interposition library uses to skip unwinding for out-of-range
@@ -78,16 +182,28 @@ type Report struct {
 	// auto-hbwmalloc enforces it at run time.
 	Budget  int64
 	Entries []Entry
+	// Tiers lists every packed (non-default) tier with its budget when
+	// the hierarchy has more than one — N-tier reports are
+	// self-describing. Two-tier reports leave it empty: their single
+	// packed tier is Budget, keeping the exchange format byte-identical
+	// to the paper's.
+	Tiers []TierBudget
 	// LBSize/UBSize bound the sizes of selected dynamic objects.
 	LBSize, UBSize int64
 }
 
-// Advise packs the candidate objects into the configured tiers in
-// descending order of relative performance (solving one knapsack per
-// tier, as dmem_advisor does); the slowest tier is the implicit
-// default and absorbs the remainder. Static objects participate in the
-// packing — promoting them is valuable advice for a developer — but
-// are flagged so the interposer knows it cannot act on them.
+// Advise waterfall-packs the candidate objects over the configured
+// hierarchy in descending order of relative performance: each tier's
+// knapsack takes the best of what the faster tiers rejected (solving
+// one knapsack per tier, as dmem_advisor does), and the overflow
+// cascades down. Objects the waterfall assigns to the default tier get
+// no entry — plain malloc already puts them there — so on machines
+// with tiers slower than the default (DDR+NVM) the coldest objects
+// receive explicit entries banishing them below it, while the classic
+// slowest-is-default configuration degenerates to the paper's
+// single-knapsack advisor. Static objects participate in the packing —
+// promoting them is valuable advice for a developer — but are flagged
+// so the interposer knows it cannot act on them.
 func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report, error) {
 	if err := mc.Validate(); err != nil {
 		return nil, err
@@ -95,29 +211,31 @@ func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report
 	if strat == nil {
 		return nil, fmt.Errorf("advisor: nil strategy")
 	}
-	tiers := append([]TierConfig(nil), mc.Tiers...)
-	sort.SliceStable(tiers, func(i, j int) bool { return tiers[i].RelativePerf > tiers[j].RelativePerf })
+	tiers, def := mc.hierarchy()
 
 	rep := &Report{App: app, Strategy: strat.Name(), Budget: tiers[0].Capacity}
+	var packed []TierBudget
 	remaining := append([]Object(nil), objs...)
-	for _, tier := range tiers[:len(tiers)-1] {
-		chosen := strat.Select(remaining, tier.Capacity)
-		inChosen := make(map[string]bool, len(chosen))
-		for _, o := range chosen {
-			inChosen[o.ID] = true
-			rep.Entries = append(rep.Entries, Entry{
-				Tier: tier.Name, ID: o.ID, Site: o.Site, Size: o.Size,
-				Misses: o.Misses, Static: o.Static,
-			})
+	for i, tier := range tiers {
+		if tier.Name == def && i == len(tiers)-1 {
+			// A trailing default absorbs the remainder implicitly;
+			// running the strategy against its (huge) capacity would
+			// be pure waste — pseudo-polynomial waste for ExactDP.
+			break
 		}
-		next := remaining[:0]
-		for _, o := range remaining {
-			if !inChosen[o.ID] {
-				next = append(next, o)
+		chosen := strat.Select(remaining, ClampBudget(remaining, tier.Capacity))
+		if tier.Name != def {
+			packed = append(packed, TierBudget{Name: tier.Name, Capacity: tier.Capacity})
+			for _, o := range chosen {
+				rep.Entries = append(rep.Entries, Entry{
+					Tier: tier.Name, ID: o.ID, Site: o.Site, Size: o.Size,
+					Misses: o.Misses, Static: o.Static,
+				})
 			}
 		}
-		remaining = next
+		remaining = filterOut(remaining, chosen)
 	}
+	rep.Tiers = tiersForReport(packed, tiers[0].Name)
 	rep.computeSizeBounds()
 	return rep, nil
 }
@@ -143,9 +261,10 @@ func (r *Report) computeSizeBounds() {
 	}
 }
 
-// SelectedSites returns the set of dynamic call-stack keys to promote
-// WHOLE (what auto-hbwmalloc matches against). Partition entries are
-// excluded — they are served through Partitions instead.
+// SelectedSites returns the set of dynamic call-stack keys to place
+// WHOLE on some non-default tier (what auto-hbwmalloc matches
+// against). Partition entries are excluded — they are served through
+// Partitions instead.
 func (r *Report) SelectedSites() map[callstack.Key]bool {
 	m := make(map[callstack.Key]bool)
 	for _, e := range r.Entries {
@@ -154,6 +273,32 @@ func (r *Report) SelectedSites() map[callstack.Key]bool {
 		}
 	}
 	return m
+}
+
+// SiteTargets maps each whole-object dynamic site to the NAME of the
+// tier the waterfall assigned it — the N-tier generalization of
+// SelectedSites. auto-hbwmalloc resolves the names against the
+// machine's heaps and binds each site to its target, falling down the
+// hierarchy on capacity exhaustion.
+func (r *Report) SiteTargets() map[callstack.Key]string {
+	m := make(map[callstack.Key]string)
+	for _, e := range r.Entries {
+		if !e.Static && e.Site != "" && e.PartSize == 0 {
+			m[e.Site] = e.Tier
+		}
+	}
+	return m
+}
+
+// TierBudgetFor returns the recorded budget for the named packed tier
+// (0 when the report does not carry per-tier budgets).
+func (r *Report) TierBudgetFor(name string) int64 {
+	for _, t := range r.Tiers {
+		if t.Name == name {
+			return t.Capacity
+		}
+	}
+	return 0
 }
 
 // StaticAdvice returns the selected objects the interposer cannot move
@@ -183,6 +328,7 @@ func (r *Report) PromotedBytes() int64 {
 //	HMEM_ADVISOR <app>
 //	strategy <name>
 //	budget <bytes>
+//	tier <name> <bytes>        (N-tier reports only, one per packed tier)
 //	lb <bytes>
 //	ub <bytes>
 //	object <tier> <static> <misses> <size> <id>|<site>
@@ -191,6 +337,9 @@ func (r *Report) Write(w io.Writer) error {
 	fmt.Fprintf(bw, "HMEM_ADVISOR\t%s\n", r.App)
 	fmt.Fprintf(bw, "strategy\t%s\n", r.Strategy)
 	fmt.Fprintf(bw, "budget\t%d\n", r.Budget)
+	for _, t := range r.Tiers {
+		fmt.Fprintf(bw, "tier\t%s\t%d\n", t.Name, t.Capacity)
+	}
 	fmt.Fprintf(bw, "lb\t%d\n", r.LBSize)
 	fmt.Fprintf(bw, "ub\t%d\n", r.UBSize)
 	for _, e := range r.Entries {
@@ -243,6 +392,15 @@ func ReadReport(rd io.Reader) (*Report, error) {
 			case "ub":
 				r.UBSize = v
 			}
+		case "tier":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("advisor: line %d: tier needs 3 fields, got %d", line, len(f))
+			}
+			cap, err := strconv.ParseInt(f[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("advisor: line %d: bad tier capacity", line)
+			}
+			r.Tiers = append(r.Tiers, TierBudget{Name: f[1], Capacity: cap})
 		case "object":
 			if len(f) != 7 && len(f) != 9 {
 				return nil, fmt.Errorf("advisor: line %d: object needs 7 or 9 fields, got %d", line, len(f))

@@ -101,12 +101,15 @@ func intervalEvents(o *TimedObject) []concEvent {
 	return evs
 }
 
-// AdviseTimeAware packs candidates into the fast tier honouring the
-// PEAK CONCURRENT footprint rather than the sum of maximum sizes. The
-// strategy parameter supplies the packing order (misses or density);
-// the budget test replaces the greedy fit test. The report it returns
-// is directly consumable by auto-hbwmalloc, whose run-time budget
-// bookkeeping enforces the same concurrent limit.
+// AdviseTimeAware waterfall-packs candidates over the hierarchy
+// honouring, per tier, the PEAK CONCURRENT footprint rather than the
+// sum of maximum sizes. The strategy parameter supplies the packing
+// order (misses or density); a per-tier concurrency sweep replaces the
+// greedy fit test, and objects rejected by one tier cascade to the
+// next. Objects landing on the default tier get no entry, exactly as
+// in Advise. The report it returns is directly consumable by
+// auto-hbwmalloc, whose run-time budget bookkeeping enforces the same
+// concurrent limit.
 func AdviseTimeAware(app string, objs []TimedObject, mc MemoryConfig, strat Strategy) (*Report, error) {
 	if err := mc.Validate(); err != nil {
 		return nil, err
@@ -114,37 +117,51 @@ func AdviseTimeAware(app string, objs []TimedObject, mc MemoryConfig, strat Stra
 	if strat == nil {
 		return nil, fmt.Errorf("advisor: nil strategy")
 	}
-	tiers := append([]TierConfig(nil), mc.Tiers...)
-	sort.SliceStable(tiers, func(i, j int) bool { return tiers[i].RelativePerf > tiers[j].RelativePerf })
-	fast := tiers[0]
+	tiers, def := mc.hierarchy()
 
-	// Use the strategy to produce the ORDER by running it with an
-	// unbounded budget (so nothing is dropped for fit reasons), then
-	// re-pack under the concurrency constraint.
+	// Use the strategy to produce the ORDER by running it with a
+	// budget covering every candidate (so nothing is dropped for fit
+	// reasons), then re-pack under the concurrency constraint.
 	plain := make([]Object, len(objs))
 	byID := make(map[string]*TimedObject, len(objs))
 	for i := range objs {
 		plain[i] = objs[i].Object
 		byID[objs[i].ID] = &objs[i]
 	}
-	ordered := strat.Select(plain, 1<<62)
+	ordered := strat.Select(plain, ClampBudget(plain, 1<<62))
 
-	rep := &Report{App: app, Strategy: strat.Name() + "+timeaware", Budget: fast.Capacity}
-	check := &concurrencyChecker{}
-	for _, o := range ordered {
-		to := byID[o.ID]
-		if to == nil {
-			continue
+	rep := &Report{App: app, Strategy: strat.Name() + "+timeaware", Budget: tiers[0].Capacity}
+	var packed []TierBudget
+	for i, tier := range tiers {
+		if tier.Name == def && i == len(tiers)-1 {
+			break // trailing default absorbs the remainder implicitly
 		}
-		if check.peakWith(to) > fast.Capacity {
-			continue
+		check := &concurrencyChecker{}
+		isDefault := tier.Name == def
+		if !isDefault {
+			packed = append(packed, TierBudget{Name: tier.Name, Capacity: tier.Capacity})
 		}
-		check.add(to)
-		rep.Entries = append(rep.Entries, Entry{
-			Tier: fast.Name, ID: o.ID, Site: o.Site, Size: o.Size,
-			Misses: o.Misses, Static: o.Static,
-		})
+		var next []Object
+		for _, o := range ordered {
+			to := byID[o.ID]
+			if to == nil {
+				continue
+			}
+			if check.peakWith(to) > tier.Capacity {
+				next = append(next, o)
+				continue
+			}
+			check.add(to)
+			if !isDefault {
+				rep.Entries = append(rep.Entries, Entry{
+					Tier: tier.Name, ID: o.ID, Site: o.Site, Size: o.Size,
+					Misses: o.Misses, Static: o.Static,
+				})
+			}
+		}
+		ordered = next
 	}
+	rep.Tiers = tiersForReport(packed, tiers[0].Name)
 	rep.computeSizeBounds()
 	return rep, nil
 }

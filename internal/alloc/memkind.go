@@ -8,13 +8,17 @@ import (
 )
 
 // Kind selects an allocation heap, mirroring the memkind library's
-// partition kinds (MEMKIND_DEFAULT, MEMKIND_HBW).
+// partition kinds (MEMKIND_DEFAULT, MEMKIND_HBW, MEMKIND_DAX_KMEM, …).
+// Kinds are dense indices into the Memkind's heap list: kind 0 is
+// always the default heap, higher kinds are the machine's remaining
+// tiers in descending-performance order.
 type Kind uint8
 
-// The kinds of the reference two-tier machine.
+// The kinds of the reference two-tier machine. On an N-tier Memkind,
+// KindHBW still names the fastest non-default heap (heap index 1).
 const (
 	KindDefault Kind = iota // regular DDR heap (glibc malloc)
-	KindHBW                 // high-bandwidth MCDRAM heap (hbwmalloc)
+	KindHBW                 // fastest non-default heap (hbwmalloc)
 )
 
 // String implements fmt.Stringer.
@@ -29,42 +33,80 @@ func (k Kind) String() string {
 	}
 }
 
+// HeapSpec sizes one heap of an N-tier Memkind: the backing tier (the
+// spec supplies ID, name and RelativePerf) plus the heap's byte
+// reservation inside that tier.
+type HeapSpec struct {
+	Tier mem.TierSpec
+	Size int64
+}
+
 // Memkind is the allocation façade the interposition library talks to:
-// one arena per kind over tier-bound segments, with pointer-ownership
-// routing for free/realloc. Allocations and frees must be matched
-// against the kind that performed them — exactly the bookkeeping
-// obligation Section III attributes to auto-hbwmalloc.
+// one arena per memory tier over tier-bound segments, with
+// pointer-ownership routing for free/realloc. Allocations and frees
+// must be matched against the kind that performed them — exactly the
+// bookkeeping obligation Section III attributes to auto-hbwmalloc.
 type Memkind struct {
 	arenas map[Kind]*Arena
-	order  []Kind
+	specs  []HeapSpec // indexed by Kind
+	order  []Kind     // heap-list order (default first)
+	byPerf []Kind     // all kinds, descending tier RelativePerf
 	space  *Space
 }
 
-// NewMemkind builds heaps over space: a DDR-backed default heap of
-// ddrHeap bytes and an MCDRAM-backed HBW heap of hbwHeap bytes.
+// NewMemkind builds the classic two-tier heap pair over space: a
+// DDR-backed default heap of ddrHeap bytes and an MCDRAM-backed HBW
+// heap of hbwHeap bytes.
 func NewMemkind(space *Space, ddrHeap, hbwHeap int64) (*Memkind, error) {
-	ddrSeg, err := space.AddSegment("heap-default", ddrHeap, mem.TierDDR)
-	if err != nil {
-		return nil, err
+	return NewMemkindHierarchy(space, []HeapSpec{
+		{Tier: mem.TierSpec{ID: mem.TierDDR, Name: "DDR", RelativePerf: 1.0}, Size: ddrHeap},
+		{Tier: mem.TierSpec{ID: mem.TierMCDRAM, Name: "MCDRAM", RelativePerf: 4.8}, Size: hbwHeap},
+	})
+}
+
+// NewMemkindHierarchy builds one heap per entry of heaps; heaps[0] is
+// the default heap (what plain malloc serves from), the rest should be
+// listed in descending tier performance. Kind i addresses heaps[i].
+func NewMemkindHierarchy(space *Space, heaps []HeapSpec) (*Memkind, error) {
+	if len(heaps) == 0 {
+		return nil, fmt.Errorf("alloc: memkind needs at least one heap")
 	}
-	hbwSeg, err := space.AddSegment("heap-hbw", hbwHeap, mem.TierMCDRAM)
-	if err != nil {
-		return nil, err
+	mk := &Memkind{
+		arenas: make(map[Kind]*Arena, len(heaps)),
+		specs:  append([]HeapSpec(nil), heaps...),
+		space:  space,
 	}
-	return &Memkind{
-		arenas: map[Kind]*Arena{
-			KindDefault: NewArena(ddrSeg),
-			KindHBW:     NewArena(hbwSeg),
-		},
-		order: []Kind{KindDefault, KindHBW},
-		space: space,
-	}, nil
+	for i, h := range heaps {
+		k := Kind(i)
+		segName := "heap-default"
+		if i > 0 {
+			if i == 1 {
+				segName = "heap-hbw"
+			} else {
+				segName = "heap-" + h.Tier.Name
+			}
+		}
+		seg, err := space.AddSegment(segName, h.Size, h.Tier.ID)
+		if err != nil {
+			return nil, err
+		}
+		mk.arenas[k] = NewArena(seg)
+		mk.order = append(mk.order, k)
+	}
+	mk.byPerf = append([]Kind(nil), mk.order...)
+	// Stable insertion sort by descending tier perf: kinds are few.
+	for i := 1; i < len(mk.byPerf); i++ {
+		for j := i; j > 0 && mk.specs[mk.byPerf[j]].Tier.RelativePerf > mk.specs[mk.byPerf[j-1]].Tier.RelativePerf; j-- {
+			mk.byPerf[j], mk.byPerf[j-1] = mk.byPerf[j-1], mk.byPerf[j]
+		}
+	}
+	return mk, nil
 }
 
 // BindPages rebinds the pages of [addr+offset, addr+offset+size) to
-// tier — the simulated mbind(2) used by partitioned placement to move
-// a sub-range of a DDR allocation into fast memory. The caller is
-// responsible for capacity accounting.
+// tier — the simulated mbind(2) used by partitioned placement and the
+// online placer to move data without changing its address. The caller
+// is responsible for capacity accounting.
 func (mk *Memkind) BindPages(addr uint64, offset, size int64, tier mem.TierID) {
 	mk.space.PageTable().SetRange(addr+uint64(offset), size, tier)
 }
@@ -80,6 +122,44 @@ func (mk *Memkind) Malloc(kind Kind, size int64) (uint64, error) {
 		return 0, fmt.Errorf("alloc: unknown kind %v", kind)
 	}
 	return a.Malloc(size)
+}
+
+// MallocFallback allocates from kind's heap, walking down to each
+// strictly slower tier's heap when capacity runs out — the overflow
+// chain of an N-tier node, where a full DDR spills cold data to
+// NVM/CXL instead of failing. It returns the kind that served the
+// allocation. Faster tiers are never consulted: falling UP would
+// silently promote, which is a placement decision, not an OOM fix.
+func (mk *Memkind) MallocFallback(kind Kind, size int64) (uint64, Kind, error) {
+	chain, err := mk.FallbackChain(kind)
+	if err != nil {
+		return 0, kind, err
+	}
+	var lastErr error
+	for _, k := range chain {
+		addr, err := mk.arenas[k].Malloc(size)
+		if err == nil {
+			return addr, k, nil
+		}
+		lastErr = err
+	}
+	return 0, kind, lastErr
+}
+
+// FallbackChain returns kind followed by every kind whose tier is
+// strictly slower, in descending-performance order.
+func (mk *Memkind) FallbackChain(kind Kind) ([]Kind, error) {
+	if int(kind) >= len(mk.specs) {
+		return nil, fmt.Errorf("alloc: unknown kind %v", kind)
+	}
+	perf := mk.specs[kind].Tier.RelativePerf
+	chain := []Kind{kind}
+	for _, k := range mk.byPerf {
+		if k != kind && mk.specs[k].Tier.RelativePerf < perf {
+			chain = append(chain, k)
+		}
+	}
+	return chain, nil
 }
 
 // Free releases addr, routing to whichever heap owns it.
@@ -115,6 +195,56 @@ func (mk *Memkind) KindOf(addr uint64) (Kind, bool) {
 	}
 	return 0, false
 }
+
+// Kinds returns every configured kind in heap-list order (default
+// first).
+func (mk *Memkind) Kinds() []Kind { return mk.order }
+
+// KindsByPerf returns every configured kind ordered by descending tier
+// performance — the order fallback chains and waterfall placement
+// walk.
+func (mk *Memkind) KindsByPerf() []Kind { return mk.byPerf }
+
+// TierOf returns the memory tier behind kind.
+func (mk *Memkind) TierOf(kind Kind) (mem.TierID, bool) {
+	if int(kind) >= len(mk.specs) {
+		return 0, false
+	}
+	return mk.specs[kind].Tier.ID, true
+}
+
+// TierName returns the configured name of kind's backing tier.
+func (mk *Memkind) TierName(kind Kind) string {
+	if int(kind) >= len(mk.specs) {
+		return kind.String()
+	}
+	return mk.specs[kind].Tier.Name
+}
+
+// KindForTier returns the kind whose heap lives on tier id.
+func (mk *Memkind) KindForTier(id mem.TierID) (Kind, bool) {
+	for _, k := range mk.order {
+		if mk.specs[k].Tier.ID == id {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// KindForName returns the kind whose backing tier carries name — how
+// advisor reports (which speak tier names) are resolved against the
+// machine's heaps.
+func (mk *Memkind) KindForName(name string) (Kind, bool) {
+	for _, k := range mk.order {
+		if mk.specs[k].Tier.Name == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// FastestKind returns the kind backed by the highest-performance tier.
+func (mk *Memkind) FastestKind() Kind { return mk.byPerf[0] }
 
 // Arena exposes the arena behind kind (stats, invariants).
 func (mk *Memkind) Arena(kind Kind) *Arena { return mk.arenas[kind] }

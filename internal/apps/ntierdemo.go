@@ -1,0 +1,71 @@
+package apps
+
+import (
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// NTierDemo is the three-tier showcase workload: a rank whose TOTAL
+// footprint exceeds DDR+MCDRAM (so something must live on the NVM
+// floor) and whose HOT set exceeds MCDRAM (so the fast tier cannot
+// simply swallow it). Per rank of a KNLOptane node (DDR 1.5 GB,
+// MCDRAM 256 MB, NVM 8 GB):
+//
+//   - 6 cold checkpoint buffers of 224 MB (1.34 GB) — allocated FIRST,
+//     touched barely. Under any allocation-order policy they squat on
+//     DDR and push later objects down to NVM.
+//   - 4 warm tables of 160 MB (640 MB) — touched steadily.
+//   - 2 hot vectors of 160 MB (320 MB) — the bandwidth-bound core,
+//     allocated LAST, exceeding MCDRAM together.
+//
+// Total ≈ 2.25 GB against 1.75 GB of DDR+MCDRAM. The DDR baseline
+// strands hot data on NVM by allocation order; the two-tier advisor
+// rescues one hot vector into MCDRAM but still lets DDR overflow spill
+// warm/hot objects to NVM as-they-come; the N-tier waterfall banishes
+// the cold buffers to NVM EXPLICITLY, which is what keeps every warm
+// and hot byte on DDR or faster. It is not registered in the Table I
+// catalog — build it with NTierDemo (facade: NTierDemoWorkload) and
+// run it on PerRank(KNLOptane(), 64, 4).
+func NTierDemo() *engine.Workload {
+	w := &engine.Workload{
+		Name: "ntierdemo", Program: "ntierdemo",
+		Language: "C", Parallelism: "MPI+OpenMP", LinesOfCode: 9000,
+		Ranks: 64, Threads: 4,
+		FOMName: "steps/s", FOMUnit: "steps/s", WorkPerIteration: 1,
+		Iterations:      12,
+		AllocStatements: "12/0/12/0/12/12/0",
+	}
+	add := func(name string, size int64, path ...string) {
+		w.Objects = append(w.Objects, engine.ObjectSpec{
+			Name: name, Class: engine.Dynamic, Lifetime: engine.LifetimeProgram,
+			Size: size, SitePath: path,
+		})
+	}
+	// Allocation order is the trap: cold first, hot last.
+	cold := []string{"ckpt0", "ckpt1", "ckpt2", "ckpt3", "ckpt4", "ckpt5"}
+	for _, n := range cold {
+		add(n, 224*units.MB, "main", "init_checkpoints", "alloc_"+n)
+	}
+	warm := []string{"table0", "table1", "table2", "table3"}
+	for _, n := range warm {
+		add(n, 160*units.MB, "main", "init_tables", "alloc_"+n)
+	}
+	hot := []string{"field", "flux"}
+	for _, n := range hot {
+		add(n, 160*units.MB, "main", "init_fields", "alloc_"+n)
+	}
+
+	touches := func(names []string, refs int64) []engine.Touch {
+		out := make([]engine.Touch, 0, len(names))
+		for _, n := range names {
+			out = append(out, engine.Touch{Object: n, Pattern: engine.Sequential, Refs: refs})
+		}
+		return out
+	}
+	w.IterPhases = []engine.Phase{
+		{Routine: "stencil", Instructions: 90_000, Touches: touches(hot, 60_000)},
+		{Routine: "tables", Instructions: 40_000, Touches: touches(warm, 15_000)},
+		{Routine: "checkpoint", Instructions: 10_000, Touches: touches(cold, 1_500)},
+	}
+	return w
+}

@@ -23,7 +23,12 @@ import (
 	"repro/internal/units"
 )
 
-// ddrPolicy sends everything to the default heap.
+// ddrPolicy sends everything to the default heap. On machines with
+// tiers slower than the default (DDR+NVM), a full default heap spills
+// to the next slower tier in allocation order — the OS first-touch
+// overflow a placement-oblivious run suffers, and exactly the failure
+// mode the waterfall advisor exists to prevent: whichever object
+// happens to allocate late lands on the slowest memory, hot or not.
 type ddrPolicy struct {
 	mk *alloc.Memkind
 }
@@ -38,11 +43,24 @@ func DDR() engine.PolicyFactory {
 func (p *ddrPolicy) Name() string { return "ddr" }
 
 func (p *ddrPolicy) Malloc(_ callstack.Stack, size int64) (uint64, error) {
-	return p.mk.Malloc(alloc.KindDefault, size)
+	addr, _, err := p.mk.MallocFallback(alloc.KindDefault, size)
+	return addr, err
 }
 
 func (p *ddrPolicy) Realloc(_ callstack.Stack, addr uint64, size int64) (uint64, error) {
-	return p.mk.Realloc(addr, size)
+	na, err := p.mk.Realloc(addr, size)
+	if err == nil || !errors.Is(err, alloc.ErrOutOfMemory) {
+		return na, err
+	}
+	// Owning heap full: move down the hierarchy manually.
+	na, _, err = p.mk.MallocFallback(alloc.KindDefault, size)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.mk.Free(addr); err != nil {
+		return 0, err
+	}
+	return na, nil
 }
 
 func (p *ddrPolicy) Free(addr uint64) error { return p.mk.Free(addr) }
@@ -87,7 +105,8 @@ func (p *numactlPolicy) Malloc(_ callstack.Stack, size int64) (uint64, error) {
 		p.mk.Arena(alloc.KindHBW).Exhaust()
 		p.exhausted = true
 	}
-	return p.mk.Malloc(alloc.KindDefault, size)
+	addr, _, err := p.mk.MallocFallback(alloc.KindDefault, size)
+	return addr, err
 }
 
 func (p *numactlPolicy) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64, error) {
@@ -98,8 +117,8 @@ func (p *numactlPolicy) Realloc(stack callstack.Stack, addr uint64, size int64) 
 	if !errors.Is(err, alloc.ErrOutOfMemory) {
 		return 0, err
 	}
-	// HBW heap full: move the object to DDR manually.
-	na, err = p.mk.Malloc(alloc.KindDefault, size)
+	// HBW heap full: move the object down the hierarchy manually.
+	na, _, err = p.mk.MallocFallback(alloc.KindDefault, size)
 	if err != nil {
 		return 0, err
 	}
@@ -151,7 +170,8 @@ func (p *autohbwPolicy) Malloc(_ callstack.Stack, size int64) (uint64, error) {
 		}
 		p.overhead += hbwFailCycles
 	}
-	return p.mk.Malloc(alloc.KindDefault, size)
+	addr, _, err := p.mk.MallocFallback(alloc.KindDefault, size)
+	return addr, err
 }
 
 func (p *autohbwPolicy) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64, error) {

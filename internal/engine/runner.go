@@ -91,11 +91,14 @@ type Result struct {
 	MCDRAMCacheHits   int64
 	MCDRAMCacheMisses int64
 
-	// HBWHWM is the MCDRAM heap high-water mark (the Fig. 4 middle
-	// column); TotalHWM adds DDR heap, statics and stack (Table I).
+	// HBWHWM is the fastest-tier heap high-water mark (the Fig. 4
+	// middle column); TotalHWM adds every other heap plus statics and
+	// stack (Table I). TierHWMs breaks the heap high-water marks out
+	// per memory tier for N-tier machines.
 	HBWHWM   int64
 	DDRHWM   int64
 	TotalHWM int64
+	TierHWMs map[mem.TierID]int64
 
 	AllocCalls int64
 	FreeCalls  int64
@@ -204,12 +207,13 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 	rng := xrand.New(cfg.Seed ^ 0x5eed)
 	prog := callstack.NewProgram(w.Program, rng.Fork(1))
 
-	pt := mem.NewPageTable(mem.TierDDR)
-	space := alloc.NewSpace(pt)
-	mcTier, hasMC := cfg.Machine.Tier(mem.TierMCDRAM)
-	if !hasMC {
-		return nil, fmt.Errorf("engine: machine lacks an MCDRAM tier")
+	if len(cfg.Machine.Tiers) < 2 {
+		return nil, fmt.Errorf("engine: machine needs at least two memory tiers")
 	}
+	defTier := cfg.Machine.DefaultTier()
+	fastTier := cfg.Machine.FastestTier()
+	pt := mem.NewPageTable(defTier.ID)
+	space := alloc.NewSpace(pt)
 
 	r := &runner{
 		w: w, cfg: &cfg, machine: cfg.Machine, cores: cores,
@@ -222,8 +226,9 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 	}
 
 	// Static/stack segments claim fast capacity before the heaps do
-	// (program load order), so the HBW heap only gets the remainder.
-	fastLeft, err := r.placeStaticsAndStack(mcTier.Capacity)
+	// (program load order), so the fastest-tier heap only gets the
+	// remainder.
+	fastLeft, defUsed, err := r.placeStaticsAndStack(fastTier.Capacity)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +236,37 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 		fastLeft = units.PageSize
 	}
 	ddrHeap := w.DynamicFootprint()*2 + units.GB
-	mk, err := alloc.NewMemkind(space, ddrHeap, fastLeft)
+	// The default tier's capacity only binds when the machine has a
+	// slower tier to spill into: the paper's two-tier model treats DDR
+	// as effectively unbounded for its workloads, while an N-tier node
+	// with an NVM/CXL floor makes DDR exhaustion a real event that
+	// cascades allocations down the hierarchy. Statics and stack
+	// resident on the default tier count against its capacity, so the
+	// heap gets only the remainder.
+	if len(cfg.Machine.SlowerTiers()) > 0 {
+		avail := defTier.Capacity - defUsed
+		if avail < units.PageSize {
+			avail = units.PageSize
+		}
+		if ddrHeap > avail {
+			ddrHeap = avail
+		}
+	}
+	// One heap per tier: the default tier first (kind 0, plain malloc),
+	// then every other tier in descending performance order, so
+	// alloc.KindHBW keeps addressing the fastest non-default heap.
+	heaps := []alloc.HeapSpec{{Tier: defTier, Size: ddrHeap}}
+	for _, t := range cfg.Machine.Hierarchy() {
+		if t.ID == defTier.ID {
+			continue
+		}
+		size := t.Capacity
+		if t.ID == fastTier.ID {
+			size = fastLeft
+		}
+		heaps = append(heaps, alloc.HeapSpec{Tier: t, Size: size})
+	}
+	mk, err := alloc.NewMemkindHierarchy(space, heaps)
 	if err != nil {
 		return nil, err
 	}
@@ -285,10 +320,12 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 
 // placeStaticsAndStack reserves the non-heap segments and registers
 // their objects at fixed addresses. With StaticsInFast (numactl -p 1),
-// each segment lands on MCDRAM only if it fits in the remaining fast
-// capacity; the return value is the fast capacity left for the HBW
-// heap.
-func (r *runner) placeStaticsAndStack(fastCap int64) (int64, error) {
+// each segment lands on the fastest tier only if it fits in the
+// remaining fast capacity. It returns the fast capacity left for that
+// tier's heap and the bytes that landed on the default tier (which
+// count against the default tier's capacity when it is clamped).
+func (r *runner) placeStaticsAndStack(fastCap int64) (int64, int64, error) {
+	var defUsed int64
 	layOut := func(segName string, class StorageClass, extra int64) error {
 		var total int64 = extra
 		for _, o := range r.w.Objects {
@@ -299,10 +336,13 @@ func (r *runner) placeStaticsAndStack(fastCap int64) (int64, error) {
 		if total == 0 {
 			return nil
 		}
-		tier := mem.TierDDR
+		tier := r.machine.DefaultTier().ID
 		if r.cfg.StaticsInFast && total <= fastCap {
-			tier = mem.TierMCDRAM
+			tier = r.machine.FastestTier().ID
 			fastCap -= total
+		}
+		if tier == r.machine.DefaultTier().ID {
+			defUsed += total
 		}
 		seg, err := r.space.AddSegment(segName, total, tier)
 		if err != nil {
@@ -320,12 +360,12 @@ func (r *runner) placeStaticsAndStack(fastCap int64) (int64, error) {
 		return nil
 	}
 	if err := layOut("statics", Static, r.w.StaticBytes); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if err := layOut("stack", Stack, r.w.StackBytes); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return fastCap, nil
+	return fastCap, defUsed, nil
 }
 
 func (r *runner) onLLCMiss(addr uint64) {
@@ -666,10 +706,23 @@ func (r *runner) finish() *Result {
 		res.MCDRAMCacheHits = mc.Hits()
 		res.MCDRAMCacheMisses = mc.Misses()
 	}
-	res.HBWHWM = r.mk.Arena(alloc.KindHBW).HWM()
+	res.TierHWMs = make(map[mem.TierID]int64, len(r.mk.Kinds()))
 	res.DDRHWM = r.mk.Arena(alloc.KindDefault).HWM()
-	res.TotalHWM = res.DDRHWM + res.HBWHWM + r.w.StaticFootprint() + r.w.StackFootprint()
-	res.PlacementFailures = r.mk.Arena(alloc.KindHBW).Failures()
+	res.TotalHWM = res.DDRHWM + r.w.StaticFootprint() + r.w.StackFootprint()
+	fastKind := r.mk.FastestKind()
+	for _, k := range r.mk.Kinds() {
+		tier, _ := r.mk.TierOf(k)
+		hwm := r.mk.Arena(k).HWM()
+		res.TierHWMs[tier] = hwm
+		if k == alloc.KindDefault {
+			continue
+		}
+		res.TotalHWM += hwm
+		res.PlacementFailures += r.mk.Arena(k).Failures()
+		if k == fastKind || (fastKind == alloc.KindDefault && k == alloc.KindHBW) {
+			res.HBWHWM = hwm
+		}
+	}
 	if r.tr != nil {
 		r.tr.Meta["samples"] = fmt.Sprint(res.Samples)
 		r.tr.SortByTime()

@@ -4,19 +4,28 @@
 // application is intercepted; if its size passes the advisor's lb/ub
 // pre-filter, its call stack is unwound, looked up in a decision cache
 // and — on a cache miss — ASLR-translated and matched against the
-// advisor report. Matching allocations are forwarded to the
-// high-bandwidth allocator as long as they fit in the advisor-given
-// budget; everything else falls back to the default allocator.
+// advisor report. Matching allocations are forwarded to their target
+// tier's allocator as long as they fit in the advisor-given budget;
+// everything else falls back to the default allocator.
+//
+// The library is tier-count-agnostic: the advisor report names a
+// target tier per site, the library resolves those names against the
+// machine's heaps, and every placement failure walks a FALLBACK CHAIN
+// down the hierarchy — a site bound to tier k falls to k+1, k+2, …
+// on capacity exhaustion, and even unmatched allocations cascade below
+// the default tier when the default heap itself fills (the DDR→NVM
+// overflow of an Optane-class node).
 //
 // The library keeps the bookkeeping the paper enumerates: which
 // allocations each allocator owns (so frees are routed correctly), how
-// much alternate space is in use (so the budget is never exceeded even
-// when the advisor under-estimated loop allocations), and execution
-// statistics (allocation counts, average size, high-water mark, and
-// whether anything did not fit).
+// much alternate space is in use per tier (so no budget is ever
+// exceeded even when the advisor under-estimated loop allocations),
+// and execution statistics (allocation counts, average size,
+// high-water mark, and whether anything did not fit).
 package interpose
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/advisor"
@@ -34,19 +43,21 @@ type Options struct {
 	// DisableCache bypasses the decision cache so every allocation
 	// pays translation (ablation).
 	DisableCache bool
-	// BudgetOverride replaces the report's budget when positive. The
-	// paper uses this for Lulesh: advise for 512 MB but enforce 256 MB.
+	// BudgetOverride replaces the report's fastest-tier budget when
+	// positive. The paper uses this for Lulesh: advise for 512 MB but
+	// enforce 256 MB.
 	BudgetOverride int64
 }
 
 // Stats are the metrics auto-hbwmalloc captures "upon user request".
 type Stats struct {
 	Allocations    int64 // total mallocs seen
-	HBWAllocations int64 // routed to fast memory
+	HBWAllocations int64 // routed to the fastest tier
 	BytesRequested int64
 	HBWBytes       int64
-	HWM            int64 // fast-memory high-water mark (library view)
-	NotFit         int64 // matched but rejected by budget/OOM
+	HWM            int64 // fastest-tier high-water mark (library view)
+	NotFit         int64 // matched but rejected by budget/OOM at target
+	Fallbacks      int64 // allocations served below their intended tier
 	CacheHits      int64
 	CacheMisses    int64
 	Partitioned    int64 // allocations placed by critical sub-range
@@ -69,19 +80,31 @@ type Library struct {
 	prog *callstack.Program
 	opts Options
 
-	selected   map[callstack.Key]bool
+	targets    map[callstack.Key]alloc.Kind // whole-object target heap
 	partitions map[callstack.Key]advisor.Entry
 	lb, ub     int64
-	budget     int64
 
-	used  int64            // live fast-memory bytes allocated by us
-	owned map[uint64]int64 // addr -> aligned size, fast allocations
+	// budgets caps the library's live bytes per budgeted kind (the
+	// advisor-given limits); kinds without an entry are bounded by
+	// their arena alone. used mirrors the budgeted kinds.
+	budgets map[alloc.Kind]int64
+	used    map[alloc.Kind]int64
+
+	fastKind alloc.Kind
+	defTier  mem.TierID
+
+	owned map[uint64]ownedAlloc // addr -> kind + aligned size (budgeted kinds)
 	// parts tracks partition-placed allocations: addr -> bound range.
 	parts    map[uint64]partRange
-	decision map[uint64]promoteKind // stack fingerprint -> decision
+	decision map[uint64]siteDecision // stack fingerprint -> decision
 
 	stats    Stats
 	overhead units.Cycles
+}
+
+type ownedAlloc struct {
+	kind alloc.Kind
+	size int64
 }
 
 // New builds the library from an advisor report.
@@ -96,19 +119,55 @@ func New(mk *alloc.Memkind, prog *callstack.Program, rep *advisor.Report, opts O
 	if budget <= 0 {
 		return nil, fmt.Errorf("interpose: non-positive budget %d", budget)
 	}
-	return &Library{
+	fastKind := mk.FastestKind()
+	defTier, _ := mk.TierOf(alloc.KindDefault)
+	l := &Library{
 		mk: mk, prog: prog, opts: opts,
-		selected:   rep.SelectedSites(),
+		targets:    make(map[callstack.Key]alloc.Kind),
 		partitions: keyedPartitions(rep),
 		lb:         rep.LBSize, ub: rep.UBSize,
-		budget:   budget,
-		owned:    make(map[uint64]int64),
+		budgets:  map[alloc.Kind]int64{fastKind: budget},
+		used:     make(map[alloc.Kind]int64),
+		fastKind: fastKind,
+		defTier:  defTier,
+		owned:    make(map[uint64]ownedAlloc),
 		parts:    make(map[uint64]partRange),
-		decision: make(map[uint64]promoteKind),
-	}, nil
+		decision: make(map[uint64]siteDecision),
+	}
+	// Per-tier budgets of an N-tier report: every packed tier the
+	// machine actually carries gets its recorded cap (the fastest
+	// keeps the possibly-overridden Budget).
+	for _, tb := range rep.Tiers {
+		k, ok := mk.KindForName(tb.Name)
+		if !ok || k == fastKind || k == alloc.KindDefault {
+			continue
+		}
+		l.budgets[k] = tb.Capacity
+	}
+	// Resolve each selected site's tier name to a heap. In a legacy
+	// two-tier report (no per-tier budgets) every entry means
+	// "promote", so unknown names degrade to the fastest heap. In an
+	// N-tier report an unknown name may just as well be a
+	// slower-than-default floor this machine lacks — promoting such a
+	// "banish to NVM" entry would burn the fast budget on cold data —
+	// so the entry is dropped and the object rests on the default.
+	for site, tierName := range rep.SiteTargets() {
+		k, ok := mk.KindForName(tierName)
+		if !ok {
+			if len(rep.Tiers) > 0 {
+				continue
+			}
+			k = fastKind
+		}
+		if k == alloc.KindDefault {
+			continue
+		}
+		l.targets[site] = k
+	}
+	return l, nil
 }
 
-// promoteKind is the cached per-site decision.
+// promoteKind is the cached per-site decision class.
 type promoteKind uint8
 
 const (
@@ -116,6 +175,12 @@ const (
 	promoteWhole
 	promotePartition
 )
+
+// siteDecision caches the decision class and its target heap.
+type siteDecision struct {
+	kind   promoteKind
+	target alloc.Kind
+}
 
 // partRange is the fast-bound sub-range of a partitioned allocation.
 type partRange struct {
@@ -140,14 +205,15 @@ func Factory(rep *advisor.Report, opts Options) engine.PolicyFactory {
 // Name implements engine.Policy.
 func (l *Library) Name() string { return "framework" }
 
-// Malloc implements Algorithm 1 of the paper.
+// Malloc implements Algorithm 1 of the paper, generalized to N tiers.
 func (l *Library) Malloc(stack callstack.Stack, size int64) (uint64, error) {
 	l.stats.Allocations++
 	l.stats.BytesRequested += size
 
-	switch l.classify(stack, size) {
+	d := l.classify(stack, size)
+	switch d.kind {
 	case promoteWhole:
-		if addr, ok := l.tryHBW(size); ok {
+		if addr, ok := l.tryTier(d.target, size); ok {
 			return addr, nil
 		}
 	case promotePartition:
@@ -155,21 +221,36 @@ func (l *Library) Malloc(stack callstack.Stack, size int64) (uint64, error) {
 			return addr, nil
 		}
 	}
-	return l.mk.Malloc(alloc.KindDefault, size)
+	return l.defaultAlloc(size)
+}
+
+// defaultAlloc serves an allocation from the default heap, cascading
+// down the hierarchy when the default tier itself is exhausted (the
+// N-tier overflow path; on a two-tier machine the default heap is
+// effectively unbounded and the chain never engages).
+func (l *Library) defaultAlloc(size int64) (uint64, error) {
+	addr, kind, err := l.mk.MallocFallback(alloc.KindDefault, size)
+	if err != nil {
+		return 0, err
+	}
+	if kind != alloc.KindDefault {
+		l.stats.Fallbacks++
+	}
+	return addr, nil
 }
 
 // classify runs the size gate, decision cache and translation match
 // of Algorithm 1 (lines 3–11), charging the modeled costs. It returns
-// whether the site is selected for whole-object promotion, partitioned
-// promotion, or not at all.
-func (l *Library) classify(stack callstack.Stack, size int64) promoteKind {
-	if len(l.selected) == 0 && len(l.partitions) == 0 {
-		return promoteNo
+// whether the site is selected for whole-object placement (and on
+// which heap), partitioned promotion, or nothing at all.
+func (l *Library) classify(stack callstack.Stack, size int64) siteDecision {
+	if len(l.targets) == 0 && len(l.partitions) == 0 {
+		return siteDecision{}
 	}
 	if !l.opts.DisableSizeFilter && l.ub > 0 {
 		if size < l.lb || size > l.ub {
 			l.stats.SizeFiltered++
-			return promoteNo
+			return siteDecision{}
 		}
 	}
 	// Unwind the call stack (always needed past the size gate).
@@ -177,9 +258,9 @@ func (l *Library) classify(stack callstack.Stack, size int64) promoteKind {
 	l.overhead += callstack.UnwindCost(len(stack))
 
 	if !l.opts.DisableCache {
-		if k, found := l.decision[stack.Fingerprint()]; found {
+		if d, found := l.decision[stack.Fingerprint()]; found {
 			l.stats.CacheHits++
-			return k
+			return d
 		}
 		l.stats.CacheMisses++
 	}
@@ -187,24 +268,21 @@ func (l *Library) classify(stack callstack.Stack, size int64) promoteKind {
 	l.stats.Translates++
 	l.overhead += callstack.TranslateCost(len(stack))
 	key := l.prog.Table.Translate(stack)
-	k := promoteNo
-	switch {
-	case l.selected[key]:
-		k = promoteWhole
-	default:
-		if _, ok := l.partitions[key]; ok {
-			k = promotePartition
-		}
+	d := siteDecision{}
+	if target, ok := l.targets[key]; ok {
+		d = siteDecision{kind: promoteWhole, target: target}
+	} else if _, ok := l.partitions[key]; ok {
+		d = siteDecision{kind: promotePartition, target: l.fastKind}
 	}
 	if !l.opts.DisableCache {
-		l.decision[stack.Fingerprint()] = k
+		l.decision[stack.Fingerprint()] = d
 	}
-	return k
+	return d
 }
 
 // tryPartition allocates the object on the default heap and binds its
-// critical sub-range to fast memory (simulated mbind), charging the
-// bound bytes to the budget.
+// critical sub-range to the fastest tier (simulated mbind), charging
+// the bound bytes to the fast budget.
 func (l *Library) tryPartition(stack callstack.Stack, size int64) (uint64, bool) {
 	e, ok := l.partitions[l.prog.Table.Translate(stack)]
 	if !ok {
@@ -217,7 +295,7 @@ func (l *Library) tryPartition(stack callstack.Stack, size int64) (uint64, bool)
 	if off+psz > size {
 		psz = size - off
 	}
-	if l.used+psz > l.budget {
+	if l.used[l.fastKind]+psz > l.budgets[l.fastKind] {
 		l.stats.NotFit++
 		return 0, false
 	}
@@ -225,11 +303,12 @@ func (l *Library) tryPartition(stack callstack.Stack, size int64) (uint64, bool)
 	if err != nil {
 		return 0, false
 	}
-	l.mk.BindPages(addr, off, psz, mem.TierMCDRAM)
+	fastTier, _ := l.mk.TierOf(l.fastKind)
+	l.mk.BindPages(addr, off, psz, fastTier)
 	l.parts[addr] = partRange{offset: off, size: psz}
-	l.used += psz
-	if l.used > l.stats.HWM {
-		l.stats.HWM = l.used
+	l.used[l.fastKind] += psz
+	if l.used[l.fastKind] > l.stats.HWM {
+		l.stats.HWM = l.used[l.fastKind]
 	}
 	l.overhead += alloc.HBWAllocPenalty(psz)
 	l.stats.HBWAllocations++
@@ -238,46 +317,68 @@ func (l *Library) tryPartition(stack callstack.Stack, size int64) (uint64, bool)
 	return addr, true
 }
 
-// tryHBW attempts the fast-memory allocation under the budget.
-func (l *Library) tryHBW(size int64) (uint64, bool) {
-	if l.used+size > l.budget {
-		l.stats.NotFit++
-		return 0, false
-	}
-	addr, err := l.mk.Malloc(alloc.KindHBW, size)
+// tryTier attempts placement on the target heap, walking the fallback
+// chain of strictly slower NON-DEFAULT heaps under their budgets.
+// Reaching the default tier means "no special placement" and returns
+// false so the caller takes the default path.
+func (l *Library) tryTier(target alloc.Kind, size int64) (uint64, bool) {
+	chain, err := l.mk.FallbackChain(target)
 	if err != nil {
-		l.stats.NotFit++
 		return 0, false
 	}
-	l.overhead += alloc.HBWAllocPenalty(size)
-	aligned, _ := l.mk.Arena(alloc.KindHBW).SizeOf(addr)
-	l.owned[addr] = aligned
-	l.used += aligned
-	if l.used > l.stats.HWM {
-		l.stats.HWM = l.used
+	for _, k := range chain {
+		if k == alloc.KindDefault {
+			return 0, false
+		}
+		if b, capped := l.budgets[k]; capped && l.used[k]+size > b {
+			if k == target {
+				l.stats.NotFit++
+			}
+			continue
+		}
+		addr, err := l.mk.Malloc(k, size)
+		if err != nil {
+			if k == target {
+				l.stats.NotFit++
+			}
+			continue
+		}
+		l.overhead += alloc.HBWAllocPenalty(size)
+		aligned, _ := l.mk.Arena(k).SizeOf(addr)
+		l.owned[addr] = ownedAlloc{kind: k, size: aligned}
+		l.used[k] += aligned
+		if k == l.fastKind {
+			if l.used[k] > l.stats.HWM {
+				l.stats.HWM = l.used[k]
+			}
+			l.stats.HBWAllocations++
+			l.stats.HBWBytes += size
+		}
+		if k != target {
+			l.stats.Fallbacks++
+		}
+		return addr, true
 	}
-	l.stats.HBWAllocations++
-	l.stats.HBWBytes += size
-	return addr, true
+	return 0, false
 }
 
 // Free implements engine.Policy, routing to the owning allocator and
 // unbinding partitioned sub-ranges.
 func (l *Library) Free(addr uint64) error {
-	if sz, ok := l.owned[addr]; ok {
+	if oa, ok := l.owned[addr]; ok {
 		delete(l.owned, addr)
-		l.used -= sz
+		l.used[oa.kind] -= oa.size
 	}
 	if pr, ok := l.parts[addr]; ok {
-		l.mk.BindPages(addr, pr.offset, pr.size, mem.TierDDR)
+		l.mk.BindPages(addr, pr.offset, pr.size, l.defTier)
 		delete(l.parts, addr)
-		l.used -= pr.size
+		l.used[l.fastKind] -= pr.size
 	}
 	return l.mk.Free(addr)
 }
 
-// Realloc implements engine.Policy. A matched site growing beyond the
-// budget falls back to DDR, releasing its fast-memory footprint.
+// Realloc implements engine.Policy. A matched site growing beyond its
+// tier's budget falls down the hierarchy, releasing its footprint.
 func (l *Library) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64, error) {
 	if addr == 0 {
 		return l.Malloc(stack, size)
@@ -285,38 +386,58 @@ func (l *Library) Realloc(stack callstack.Stack, addr uint64, size int64) (uint6
 	if pr, ok := l.parts[addr]; ok {
 		// Partitioned allocations are demoted on realloc: the hot
 		// range was computed for the old layout (see DESIGN.md).
-		l.mk.BindPages(addr, pr.offset, pr.size, mem.TierDDR)
+		l.mk.BindPages(addr, pr.offset, pr.size, l.defTier)
 		delete(l.parts, addr)
-		l.used -= pr.size
-		return l.mk.Realloc(addr, size)
+		l.used[l.fastKind] -= pr.size
+		return l.reallocSpilling(addr, size)
 	}
-	oldSize, wasOurs := l.owned[addr]
+	oa, wasOurs := l.owned[addr]
 	if !wasOurs {
-		return l.mk.Realloc(addr, size)
+		return l.reallocSpilling(addr, size)
 	}
-	// Fast-memory resident: stay fast if the budget allows.
-	if l.used-oldSize+size <= l.budget {
+	// Tier-resident: stay if the tier's budget allows.
+	b, capped := l.budgets[oa.kind]
+	if !capped || l.used[oa.kind]-oa.size+size <= b {
 		na, err := l.mk.Realloc(addr, size)
 		if err == nil {
 			delete(l.owned, addr)
-			l.used -= oldSize
-			aligned, _ := l.mk.Arena(alloc.KindHBW).SizeOf(na)
-			l.owned[na] = aligned
-			l.used += aligned
-			if l.used > l.stats.HWM {
-				l.stats.HWM = l.used
+			l.used[oa.kind] -= oa.size
+			aligned, _ := l.mk.Arena(oa.kind).SizeOf(na)
+			l.owned[na] = ownedAlloc{kind: oa.kind, size: aligned}
+			l.used[oa.kind] += aligned
+			if oa.kind == l.fastKind && l.used[oa.kind] > l.stats.HWM {
+				l.stats.HWM = l.used[oa.kind]
 			}
 			l.overhead += alloc.HBWAllocPenalty(size)
 			return na, nil
 		}
 	}
-	// Demote to DDR.
+	// Demote down the hierarchy.
 	l.stats.NotFit++
-	na, err := l.mk.Malloc(alloc.KindDefault, size)
+	na, err := l.defaultAlloc(size)
 	if err != nil {
 		return 0, err
 	}
 	if err := l.Free(addr); err != nil {
+		return 0, err
+	}
+	return na, nil
+}
+
+// reallocSpilling resizes addr in place, falling down the hierarchy
+// when the owning heap is exhausted — the same overflow path Malloc
+// takes, so an interposed run never fails where the plain default
+// allocator would have spilled.
+func (l *Library) reallocSpilling(addr uint64, size int64) (uint64, error) {
+	na, err := l.mk.Realloc(addr, size)
+	if err == nil || !errors.Is(err, alloc.ErrOutOfMemory) {
+		return na, err
+	}
+	na, err = l.defaultAlloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.mk.Free(addr); err != nil {
 		return 0, err
 	}
 	return na, nil
@@ -328,8 +449,14 @@ func (l *Library) OverheadCycles() units.Cycles { return l.overhead }
 // Stats returns a snapshot of the library's statistics.
 func (l *Library) Stats() Stats { return l.stats }
 
-// Used returns the live fast-memory bytes owned by the library.
-func (l *Library) Used() int64 { return l.used }
+// Used returns the live fastest-tier bytes owned by the library.
+func (l *Library) Used() int64 { return l.used[l.fastKind] }
 
-// Budget returns the enforced fast-memory budget.
-func (l *Library) Budget() int64 { return l.budget }
+// UsedOn returns the live bytes the library has placed on kind's heap.
+func (l *Library) UsedOn(kind alloc.Kind) int64 { return l.used[kind] }
+
+// Budget returns the enforced fastest-tier budget.
+func (l *Library) Budget() int64 { return l.budgets[l.fastKind] }
+
+// BudgetFor returns the enforced budget for kind (0 = arena-limited).
+func (l *Library) BudgetFor(kind alloc.Kind) int64 { return l.budgets[kind] }

@@ -72,12 +72,122 @@ func TestEffectiveBandwidthSaturates(t *testing.T) {
 	}
 }
 
-func TestTierString(t *testing.T) {
-	if TierDDR.String() != "DDR" || TierMCDRAM.String() != "MCDRAM" {
-		t.Error("tier names wrong")
-	}
+func TestTierNaming(t *testing.T) {
+	// Tier naming is the TierSpec's business, not the ID's: bare IDs
+	// print a neutral label and Machine.TierName resolves the
+	// configured name, so user-defined tiers diagnose correctly.
 	if TierID(9).String() != "tier(9)" {
 		t.Errorf("unknown tier string = %q", TierID(9).String())
+	}
+	if TierDDR.String() != "tier(0)" {
+		t.Errorf("bare DDR id string = %q, want neutral label", TierDDR.String())
+	}
+	m := KNLOptane()
+	if m.TierName(TierNVM) != "NVM" || m.TierName(TierMCDRAM) != "MCDRAM" {
+		t.Errorf("TierName = %q/%q", m.TierName(TierNVM), m.TierName(TierMCDRAM))
+	}
+	if m.TierName(TierCXL) != "tier(4)" {
+		t.Errorf("unconfigured tier name = %q", m.TierName(TierCXL))
+	}
+	custom := DefaultKNL()
+	custom.Tiers[1].Name = "HBM-stack"
+	if custom.TierName(TierMCDRAM) != "HBM-stack" {
+		t.Errorf("user-defined tier name = %q", custom.TierName(TierMCDRAM))
+	}
+}
+
+func TestThreeTierMachinesValidate(t *testing.T) {
+	for _, m := range []Machine{KNLOptane(), HBMCXL()} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("machine invalid: %v", err)
+		}
+	}
+	m := KNLOptane()
+	if len(m.Tiers) != 3 {
+		t.Fatalf("KNLOptane tiers = %d", len(m.Tiers))
+	}
+	// NVM is slower than DDR: the hierarchy must order it last.
+	h := m.Hierarchy()
+	if h[0].ID != TierMCDRAM || h[1].ID != TierDDR || h[2].ID != TierNVM {
+		t.Fatalf("KNLOptane hierarchy = %v,%v,%v", h[0].ID, h[1].ID, h[2].ID)
+	}
+	if m.DefaultTier().ID != TierDDR {
+		t.Fatalf("KNLOptane default = %v, want DDR", m.DefaultTier().ID)
+	}
+	slower := m.SlowerTiers()
+	if len(slower) != 1 || slower[0].ID != TierNVM {
+		t.Fatalf("SlowerTiers = %+v, want just NVM", slower)
+	}
+	hx := HBMCXL()
+	hh := hx.Hierarchy()
+	if hh[0].ID != TierHBM || hh[1].ID != TierDDR || hh[2].ID != TierCXL {
+		t.Fatalf("HBMCXL hierarchy = %v,%v,%v", hh[0].ID, hh[1].ID, hh[2].ID)
+	}
+	if hx.DefaultTier().ID != TierDDR {
+		t.Fatalf("HBMCXL default = %v, want DDR", hx.DefaultTier().ID)
+	}
+}
+
+func TestValidateThreeTierErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Machine)
+	}{
+		{"dup id", func(m *Machine) { m.Tiers[2].ID = m.Tiers[0].ID }},
+		{"dup name", func(m *Machine) { m.Tiers[2].Name = m.Tiers[0].Name }},
+		{"zero capacity nvm", func(m *Machine) { m.Tiers[2].Capacity = 0 }},
+		{"zero perf", func(m *Machine) { m.Tiers[2].RelativePerf = 0 }},
+		{"negative perf", func(m *Machine) { m.Tiers[1].RelativePerf = -1 }},
+	}
+	for _, c := range cases {
+		m := KNLOptane()
+		m.Tiers = append([]TierSpec(nil), m.Tiers...)
+		c.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", c.name)
+		}
+	}
+}
+
+func TestHierarchyHandlesUnsortedTiers(t *testing.T) {
+	// Machine.Tiers may be listed in any order; Hierarchy imposes the
+	// perf order and the original slice stays untouched.
+	m := KNLOptane()
+	m.Tiers = []TierSpec{m.Tiers[2], m.Tiers[0], m.Tiers[1]} // NVM, DDR, MCDRAM
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := m.Hierarchy()
+	if h[0].ID != TierMCDRAM || h[2].ID != TierNVM {
+		t.Fatalf("hierarchy of unsorted tiers = %v..%v", h[0].ID, h[2].ID)
+	}
+	if m.Tiers[0].ID != TierNVM {
+		t.Fatal("Hierarchy mutated Machine.Tiers")
+	}
+	if m.FastestTier().ID != TierMCDRAM || m.SlowestTier().ID != TierNVM {
+		t.Fatal("fastest/slowest wrong on unsorted tiers")
+	}
+}
+
+func TestPerRankDividesEveryTier(t *testing.T) {
+	node := KNLOptane()
+	m := PerRank(node, 64, 4)
+	if len(m.Tiers) != 3 {
+		t.Fatalf("per-rank tiers = %d", len(m.Tiers))
+	}
+	for i, tr := range m.Tiers {
+		if tr.Capacity != node.Tiers[i].Capacity/64 {
+			t.Errorf("tier %q capacity = %d, want 1/64 of node", tr.Name, tr.Capacity)
+		}
+		if tr.PeakBandwidth != node.Tiers[i].PeakBandwidth/64 {
+			t.Errorf("tier %q peak bw not divided", tr.Name)
+		}
+		if tr.PerCoreBandwidth != node.Tiers[i].PerCoreBandwidth {
+			t.Errorf("tier %q per-core bw must stay unscaled", tr.Name)
+		}
+	}
+	if m.Cores != 4 {
+		t.Errorf("per-rank cores = %d", m.Cores)
 	}
 }
 

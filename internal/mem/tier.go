@@ -1,43 +1,58 @@
 // Package mem models the hybrid memory system of the simulated machine:
-// the set of memory tiers (DDR, on-package MCDRAM), their capacity,
-// latency and bandwidth characteristics, and the page table that maps
-// simulated virtual pages onto tiers.
+// an ordered hierarchy of memory tiers, their capacity, latency and
+// bandwidth characteristics, and the page table that maps simulated
+// virtual pages onto tiers.
 //
-// It is the stand-in for the physical Intel Xeon Phi 7250 memory system
-// used in the paper: 96 GB of DDR4 (~90 GB/s) and 16 GB of MCDRAM
-// (~480 GB/s in flat mode). As on real KNL hardware, MCDRAM has *worse*
-// idle latency than DDR but far higher bandwidth, which is why only
-// bandwidth-bound objects profit from promotion.
+// The reference machine (DefaultKNL) is the stand-in for the physical
+// Intel Xeon Phi 7250 memory system used in the paper: 96 GB of DDR4
+// (~90 GB/s) and 16 GB of MCDRAM (~480 GB/s in flat mode). As on real
+// KNL hardware, MCDRAM has *worse* idle latency than DDR but far higher
+// bandwidth, which is why only bandwidth-bound objects profit from
+// promotion.
+//
+// Nothing in the model is two-tier specific: a Machine carries an
+// arbitrary set of TierSpecs ordered by RelativePerf (see Hierarchy),
+// and KNLOptane / HBMCXL describe three-tier nodes — a KNL node with an
+// Optane-class NVM floor *slower* than DDR, and an HBM-first node with
+// a CXL capacity expander — that the advisor, interposer and online
+// placer handle with the same waterfall logic as the paper's DDR+MCDRAM
+// pair.
 package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/units"
 )
 
-// TierID identifies a memory tier. Lower IDs are conventionally slower;
-// the advisor orders tiers by RelativePerf, not by ID.
+// TierID identifies a memory tier. IDs are labels, not an order:
+// ordering comes from RelativePerf, never from the ID value. One ID
+// carries meaning by convention — TierDDR (0) marks the DDR-class
+// tier plain malloc is backed by, which Machine.DefaultTier keys off;
+// user-defined machines should reserve ID 0 for their OS-default tier
+// (or omit it to make the slowest tier the default).
 type TierID uint8
 
-// The two tiers of the reference machine. Additional tiers (e.g. NVM)
-// can be added through Machine.Tiers without touching the rest of the
-// system; the advisor and interposer iterate over the configured set.
+// Well-known tier IDs used by the shipped machine configurations. They
+// are a convenience, not a registry: user-defined machines may use any
+// IDs (subject to the TierDDR convention above), and everything
+// downstream (advisor, interposer, online placer) iterates over the
+// configured set ordered by RelativePerf.
 const (
 	TierDDR TierID = iota
 	TierMCDRAM
+	TierNVM
+	TierHBM
+	TierCXL
 )
 
-// String implements fmt.Stringer for diagnostics and reports.
+// String implements fmt.Stringer. It is a last-resort label for bare
+// IDs: authoritative tier naming lives in TierSpec.Name (see
+// Machine.TierName), so user-defined tiers print the name their spec
+// declares rather than a guess keyed off the ID.
 func (t TierID) String() string {
-	switch t {
-	case TierDDR:
-		return "DDR"
-	case TierMCDRAM:
-		return "MCDRAM"
-	default:
-		return fmt.Sprintf("tier(%d)", uint8(t))
-	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
 }
 
 // TierSpec describes one memory tier.
@@ -154,6 +169,77 @@ func DefaultKNL() Machine {
 	}
 }
 
+// KNLOptane returns a three-tier Xeon Phi node extended with an
+// Optane-DCPMM-class NVM floor: the DefaultKNL DDR+MCDRAM pair plus
+// 512 GB of persistent memory that is *slower* than DDR in both
+// latency and bandwidth. It models the App-Direct-style flat
+// configuration Section V points past KNL towards: the waterfall
+// advisor fills MCDRAM, overflows into DDR, and explicitly banishes
+// the coldest objects to NVM so warm data never lands there by
+// allocation-order accident.
+func KNLOptane() Machine {
+	m := DefaultKNL()
+	m.Tiers = append(m.Tiers, TierSpec{
+		ID: TierNVM, Name: "NVM",
+		Capacity:         512 * units.GB,
+		LatencyCycles:    420,
+		PeakBandwidth:    38e9,
+		PerCoreBandwidth: 2.2e9,
+		RelativePerf:     0.4,
+	})
+	return m
+}
+
+// HBMCXL returns an HBM-first node with a CXL memory expander: 64 GB
+// of on-package HBM (the fastest tier), 512 GB of DDR5 as the OS
+// default, and 1 TB of CXL-attached capacity one hop further out. It
+// is the "as many scenarios as you can imagine" counterpart to the KNL
+// configs: same hierarchy machinery, different tier count, order and
+// default position.
+func HBMCXL() Machine {
+	return Machine{
+		ClockHz:  2.0e9,
+		Cores:    56,
+		LineSize: 64,
+		Mode:     FlatMode,
+		Tiers: []TierSpec{
+			{
+				ID: TierDDR, Name: "DDR",
+				Capacity:         512 * units.GB,
+				LatencyCycles:    220,
+				PeakBandwidth:    307e9,
+				PerCoreBandwidth: 12e9,
+				RelativePerf:     1.0,
+			},
+			{
+				ID: TierHBM, Name: "HBM",
+				Capacity:         64 * units.GB,
+				LatencyCycles:    260,
+				PeakBandwidth:    1600e9,
+				PerCoreBandwidth: 40e9,
+				RelativePerf:     5.2,
+			},
+			{
+				ID: TierCXL, Name: "CXL",
+				Capacity:         1024 * units.GB,
+				LatencyCycles:    440,
+				PeakBandwidth:    64e9,
+				PerCoreBandwidth: 3e9,
+				RelativePerf:     0.3,
+			},
+		},
+		LLC: LLCSpec{
+			Size:      2 * units.MB,
+			Ways:      16,
+			LineSize:  64,
+			HitCycles: 30,
+			L1Size:    48 * units.KB,
+			L1Ways:    12,
+			L1Hit:     3,
+		},
+	}
+}
+
 // Tier returns the spec for id, or false if not configured.
 func (m *Machine) Tier(id TierID) (TierSpec, bool) {
 	for _, t := range m.Tiers {
@@ -162,6 +248,61 @@ func (m *Machine) Tier(id TierID) (TierSpec, bool) {
 		}
 	}
 	return TierSpec{}, false
+}
+
+// TierName returns the configured name of tier id, falling back to the
+// bare ID label for tiers the machine does not carry. Diagnostics
+// should prefer it over TierID.String so user-defined tiers print the
+// name their spec declares.
+func (m *Machine) TierName(id TierID) string {
+	if t, ok := m.Tier(id); ok && t.Name != "" {
+		return t.Name
+	}
+	return id.String()
+}
+
+// Hierarchy returns the machine's tiers ordered fastest to slowest by
+// RelativePerf (ties broken by ID for determinism). This is THE tier
+// order of the system: the advisor's waterfall fills it front to back,
+// the interposer's fallback chains walk it towards the tail, and the
+// online placer migrates along it. Handling unsorted Machine.Tiers
+// here means user configurations may list tiers in any order.
+func (m *Machine) Hierarchy() []TierSpec {
+	out := append([]TierSpec(nil), m.Tiers...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].RelativePerf != out[j].RelativePerf {
+			return out[i].RelativePerf > out[j].RelativePerf
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// DefaultTier returns the tier plain malloc is backed by: the tier
+// with ID TierDDR when the machine has one (the OS default on every
+// node the paper and its successors consider — see the reservation on
+// TierID), the slowest tier otherwise. Tiers faster than the default
+// are filled by promotion; tiers slower than it only ever receive
+// data by explicit placement or capacity overflow.
+func (m *Machine) DefaultTier() TierSpec {
+	if t, ok := m.Tier(TierDDR); ok {
+		return t
+	}
+	return m.SlowestTier()
+}
+
+// SlowerTiers returns the tiers strictly slower than the default, in
+// hierarchy (descending-perf) order — the overflow chain capacity
+// exhaustion cascades down.
+func (m *Machine) SlowerTiers() []TierSpec {
+	def := m.DefaultTier()
+	var out []TierSpec
+	for _, t := range m.Hierarchy() {
+		if t.RelativePerf < def.RelativePerf {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // FastestTier returns the tier with the highest RelativePerf.
@@ -202,16 +343,26 @@ func (m *Machine) Validate() error {
 		return fmt.Errorf("mem: at least one tier required")
 	}
 	seen := map[TierID]bool{}
+	names := map[string]bool{}
 	for _, t := range m.Tiers {
 		if seen[t.ID] {
 			return fmt.Errorf("mem: duplicate tier id %v", t.ID)
 		}
 		seen[t.ID] = true
+		if t.Name != "" {
+			if names[t.Name] {
+				return fmt.Errorf("mem: duplicate tier name %q", t.Name)
+			}
+			names[t.Name] = true
+		}
 		if t.Capacity <= 0 {
-			return fmt.Errorf("mem: tier %v capacity must be positive", t.ID)
+			return fmt.Errorf("mem: tier %q capacity must be positive", m.TierName(t.ID))
 		}
 		if t.PeakBandwidth <= 0 || t.PerCoreBandwidth <= 0 {
-			return fmt.Errorf("mem: tier %v bandwidth must be positive", t.ID)
+			return fmt.Errorf("mem: tier %q bandwidth must be positive", m.TierName(t.ID))
+		}
+		if t.RelativePerf <= 0 {
+			return fmt.Errorf("mem: tier %q relative perf must be positive", m.TierName(t.ID))
 		}
 	}
 	return nil

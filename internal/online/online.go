@@ -4,25 +4,35 @@
 // sliced into epochs by the engine (engine.EpochPolicy); an in-run
 // monitor accumulates the epoch's PEBS samples, an exponential-decay
 // aggregator turns them into a recency-weighted per-object miss rate,
-// and an incremental advisor re-solves the fast-memory knapsack
-// against the LIVE footprint at every boundary. The resulting plan is
-// only executed when a cost-benefit gate says the predicted gain (the
-// sample-expansion model of internal/predict) outweighs the migration
-// traffic (bytes crossing both tiers at the slower tier's bandwidth,
-// internal/mem's migration model) with hysteresis to spare — so stable
-// workloads settle after one placement and phase-shifting workloads
-// re-place exactly when their hot set moves.
+// and an incremental advisor re-solves placement against the LIVE
+// footprint at every boundary. The resulting plan is only executed
+// when a cost-benefit gate says the predicted net gain (the
+// sample-expansion model of internal/predict, charged PAIRWISE per
+// source/destination tier) outweighs the migration traffic with
+// hysteresis to spare — so stable workloads settle after one placement
+// and phase-shifting workloads re-place exactly when their hot set
+// moves.
 //
-// Everything is allocated on the default (DDR) heap; promotion is
+// The placer is tier-count-agnostic: the per-epoch solve is the same
+// waterfall the offline advisor runs — fill the fastest tier, cascade
+// the overflow down the hierarchy — so on a DDR+MCDRAM+NVM node a
+// cooling object does not merely fall out of MCDRAM; when the DDR
+// knapsack rejects it too, it is DEMOTED BELOW DDR to the NVM floor,
+// freeing default-tier room for the newly warm set. Migrations run
+// between arbitrary tier pairs with pairwise move costs.
+//
+// Everything is allocated on the default heap (spilling down the
+// hierarchy when an N-tier node's default tier fills); placement is
 // page rebinding, the simulated move_pages(2). Allocations from a
-// currently-promoted site bind to fast memory at birth — pages never
-// touched cost nothing to place, which is how churny hot sites (the
-// Lulesh temporaries) are captured with zero migration traffic.
+// currently-placed site bind to their site's tier at birth — pages
+// never touched cost nothing to place, which is how churny hot sites
+// (the Lulesh temporaries) are captured with zero migration traffic.
 // Static and stack data remain invisible, exactly as they are to
 // auto-hbwmalloc.
 package online
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -53,8 +63,13 @@ type Options struct {
 	Machine mem.Machine
 	// Cores used by the run (0 = all machine cores).
 	Cores int
-	// Budget is the fast-tier byte budget the placer may bind.
+	// Budget is the fastest-tier byte budget the placer may bind.
 	Budget int64
+	// Budgets optionally caps the bytes the placer may bind per
+	// additional non-default tier (e.g. an NVM floor); tiers without
+	// an entry default to their full capacity. The fastest tier always
+	// uses Budget.
+	Budgets map[mem.TierID]int64
 
 	// EveryIterations / EveryRefs bound the epoch length (see
 	// engine.EpochSpec; both zero = one-iteration epochs).
@@ -86,7 +101,7 @@ type Options struct {
 	// move cannot amortize.
 	TotalEpochs int
 
-	// Strategy packs the knapsack (nil = advisor.DensityStrategy).
+	// Strategy packs the per-tier knapsacks (nil = advisor.DensityStrategy).
 	Strategy advisor.Strategy
 }
 
@@ -119,15 +134,15 @@ type Stats struct {
 	Epochs            int64 // epoch boundaries observed
 	SamplesSeen       int64 // PEBS samples handed over
 	SamplesAttributed int64 // samples landing in a tracked region
-	PlansEvaluated    int64 // epochs where the knapsack disagreed with the current placement
+	PlansEvaluated    int64 // epochs where the solve disagreed with the current placement
 	GateRejected      int64 // plans the cost-benefit gate refused
 	MoveEpochs        int64 // epochs that actually migrated data
 	LastMoveEpoch     int64 // index of the last migrating epoch (-1 = none)
-	Promotions        int64 // sites promoted
-	Demotions         int64 // sites demoted
-	BytesPromoted     int64 // bytes migrated DDR -> fast
-	BytesDemoted      int64 // bytes migrated fast -> DDR
-	BindsAtAlloc      int64 // allocations bound fast at birth (no copy)
+	Promotions        int64 // sites moved to a faster tier
+	Demotions         int64 // sites moved to a slower tier
+	BytesPromoted     int64 // bytes migrated towards faster tiers
+	BytesDemoted      int64 // bytes migrated towards slower tiers
+	BindsAtAlloc      int64 // allocations bound to their tier at birth (no copy)
 }
 
 // region is one live allocation the placer tracks.
@@ -135,7 +150,8 @@ type region struct {
 	start uint64
 	size  int64
 	site  string
-	bound bool // pages currently on the fast tier
+	seg   mem.TierID // tier of the backing heap segment (the rest state)
+	cur   mem.TierID // tier the pages currently live on
 }
 
 // Policy is the online adaptive placer. It implements engine.Policy
@@ -145,6 +161,13 @@ type Policy struct {
 	mk   *alloc.Memkind
 	prog *callstack.Program
 	opts Options
+
+	tiers []mem.TierSpec // hierarchy, fastest -> slowest
+	defID mem.TierID
+	perf  map[mem.TierID]float64
+	// budgets bounds the bytes bound per non-default tier; the default
+	// tier is unbudgeted (its knapsack capacity bounds assignment).
+	budgets map[mem.TierID]int64
 
 	regions []region // live, sorted by start
 	freed   []region // freed during the current epoch (sample graveyard)
@@ -158,8 +181,8 @@ type Policy struct {
 	siteOf   map[uint64]string // stack fingerprint -> translated site
 
 	agg      *Aggregator
-	promoted map[string]bool
-	fastUsed int64 // page-aligned fast bytes bound by us
+	assigned map[string]mem.TierID // site -> solver-assigned tier
+	usedBy   map[mem.TierID]int64  // page-aligned bytes on each non-default tier
 
 	overhead units.Cycles
 	stats    Stats
@@ -176,14 +199,21 @@ func New(mk *alloc.Memkind, prog *callstack.Program, opts Options) (*Policy, err
 	if err := opts.Machine.Validate(); err != nil {
 		return nil, fmt.Errorf("online: %w", err)
 	}
-	mc, ok := opts.Machine.Tier(mem.TierMCDRAM)
-	if !ok {
-		return nil, fmt.Errorf("online: machine lacks an MCDRAM tier")
+	if len(opts.Machine.Tiers) < 2 {
+		return nil, fmt.Errorf("online: machine needs at least two tiers")
+	}
+	hier := opts.Machine.Hierarchy()
+	fast := hier[0]
+	def := opts.Machine.DefaultTier()
+	if fast.ID == def.ID {
+		return nil, fmt.Errorf("online: machine has no tier faster than the default")
 	}
 	// The placer binds pages directly (it bypasses the capacity-capped
-	// HBW arena), so the budget must itself respect the physical tier.
-	if opts.Budget > mc.Capacity {
-		return nil, fmt.Errorf("online: budget %d exceeds MCDRAM capacity %d", opts.Budget, mc.Capacity)
+	// heap arenas), so each budget must itself respect its physical
+	// tier.
+	if opts.Budget > fast.Capacity {
+		return nil, fmt.Errorf("online: budget %d exceeds %s capacity %d",
+			opts.Budget, fast.Name, fast.Capacity)
 	}
 	if opts.Decay < 0 || opts.Decay > 1 {
 		return nil, fmt.Errorf("online: decay %g outside (0, 1]", opts.Decay)
@@ -199,15 +229,39 @@ func New(mk *alloc.Memkind, prog *callstack.Program, opts Options) (*Policy, err
 		return nil, fmt.Errorf("online: negative min samples %d", opts.MinSamples)
 	}
 	opts.fill()
-	return &Policy{
+	p := &Policy{
 		mk: mk, prog: prog, opts: opts,
+		tiers:    hier,
+		defID:    def.ID,
+		perf:     make(map[mem.TierID]float64, len(hier)),
+		budgets:  make(map[mem.TierID]int64, len(hier)),
 		maxSize:  make(map[string]int64),
 		epochMax: make(map[string]int64),
 		siteOf:   make(map[uint64]string),
 		agg:      NewAggregator(opts.Decay),
-		promoted: make(map[string]bool),
+		assigned: make(map[string]mem.TierID),
+		usedBy:   make(map[mem.TierID]int64),
 		stats:    Stats{LastMoveEpoch: -1},
-	}, nil
+	}
+	for _, t := range hier {
+		p.perf[t.ID] = t.RelativePerf
+		if t.ID == p.defID {
+			continue
+		}
+		switch {
+		case t.ID == fast.ID:
+			p.budgets[t.ID] = opts.Budget
+		case opts.Budgets[t.ID] > 0:
+			if opts.Budgets[t.ID] > t.Capacity {
+				return nil, fmt.Errorf("online: budget %d exceeds %s capacity %d",
+					opts.Budgets[t.ID], t.Name, t.Capacity)
+			}
+			p.budgets[t.ID] = opts.Budgets[t.ID]
+		default:
+			p.budgets[t.ID] = t.Capacity
+		}
+	}
+	return p, nil
 }
 
 // Factory adapts the placer to the engine's policy seam. The engine
@@ -271,24 +325,72 @@ func (p *Policy) attribute(addr uint64) (string, bool) {
 	return "", false
 }
 
-// bindAtBirth binds a fresh allocation of a promoted site to fast
-// memory when the budget allows: pages not yet touched move nothing.
+// desiredTier returns where a region's pages should live: the solver's
+// assignment for its site, or the backing segment's tier when the site
+// carries no assignment (unplaced data rests where it was allocated).
+func (p *Policy) desiredTier(rg *region) mem.TierID {
+	if t, ok := p.assigned[rg.site]; ok {
+		return t
+	}
+	return rg.seg
+}
+
+// budgetFits reports whether adding pa bytes to tier respects its
+// budget; the default tier is unbudgeted (its knapsack capacity bounds
+// what gets assigned there).
+func (p *Policy) budgetFits(tier mem.TierID, used map[mem.TierID]int64, pa int64) bool {
+	b, capped := p.budgets[tier]
+	return !capped || used[tier]+pa <= b
+}
+
+// bindAtBirth binds a fresh allocation of a placed site to its
+// assigned tier when the budget allows: pages not yet touched move
+// nothing. Default-tier assignments are skipped: a region that just
+// spilled BELOW the default was rejected by the default heap moments
+// ago, so rebinding its pages up would overcommit the tier the
+// unbudgeted fast path cannot police — rescuing spilled regions is
+// the epoch solver's job, bounded by its default-tier knapsack.
 func (p *Policy) bindAtBirth(rg *region) {
-	pa := units.PageAlign(rg.size)
-	if !p.promoted[rg.site] || p.fastUsed+pa > p.opts.Budget {
+	want, ok := p.assigned[rg.site]
+	if !ok || want == rg.cur || want == p.defID {
 		return
 	}
-	p.mk.BindPages(rg.start, 0, rg.size, mem.TierMCDRAM)
-	p.fastUsed += pa
+	pa := units.PageAlign(rg.size)
+	if !p.budgetFits(want, p.usedBy, pa) {
+		return
+	}
+	p.mk.BindPages(rg.start, 0, rg.size, want)
+	p.retier(rg, want)
 	p.overhead += alloc.HBWAllocPenalty(rg.size)
 	p.stats.BindsAtAlloc++
-	rg.bound = true
+}
+
+// retier moves the usedBy accounting of rg from its current tier to t.
+func (p *Policy) retier(rg *region, t mem.TierID) {
+	pa := units.PageAlign(rg.size)
+	if rg.cur != p.defID {
+		p.usedBy[rg.cur] -= pa
+	}
+	if t != p.defID {
+		p.usedBy[t] += pa
+	}
+	rg.cur = t
+}
+
+// track registers a fresh region (post-allocation accounting).
+func (p *Policy) track(rg region) {
+	if rg.cur != p.defID {
+		p.usedBy[rg.cur] += units.PageAlign(rg.size)
+	}
+	p.bindAtBirth(&rg)
+	p.insert(rg)
 }
 
 // Malloc implements engine.Policy: everything lands on the default
-// heap; hot-site allocations are page-bound to the fast tier at birth.
+// heap (cascading down the hierarchy if an N-tier default fills);
+// placed-site allocations are page-bound to their tier at birth.
 func (p *Policy) Malloc(stack callstack.Stack, size int64) (uint64, error) {
-	addr, err := p.mk.Malloc(alloc.KindDefault, size)
+	addr, kind, err := p.mk.MallocFallback(alloc.KindDefault, size)
 	if err != nil {
 		return 0, err
 	}
@@ -299,20 +401,22 @@ func (p *Policy) Malloc(stack callstack.Stack, size int64) (uint64, error) {
 	if size > p.epochMax[site] {
 		p.epochMax[site] = size
 	}
-	rg := region{start: addr, size: size, site: site}
-	p.bindAtBirth(&rg)
-	p.insert(rg)
+	seg, _ := p.mk.TierOf(kind)
+	p.track(region{start: addr, size: size, site: site, seg: seg, cur: seg})
 	return addr, nil
 }
 
-// Free implements engine.Policy, unbinding promoted pages so the
-// arena's reuse of the range never inherits a stale fast binding.
+// Free implements engine.Policy, rebinding displaced pages to their
+// segment's tier so the arena's reuse of the range never inherits a
+// stale binding.
 func (p *Policy) Free(addr uint64) error {
 	if i, ok := p.findIndex(addr); ok {
 		rg := p.regions[i]
-		if rg.bound {
-			p.mk.BindPages(rg.start, 0, rg.size, mem.TierDDR)
-			p.fastUsed -= units.PageAlign(rg.size)
+		if rg.cur != rg.seg {
+			p.mk.BindPages(rg.start, 0, rg.size, rg.seg)
+		}
+		if rg.cur != p.defID {
+			p.usedBy[rg.cur] -= units.PageAlign(rg.size)
 		}
 		p.regions = append(p.regions[:i], p.regions[i+1:]...)
 		p.freed = append(p.freed, rg)
@@ -321,7 +425,7 @@ func (p *Policy) Free(addr uint64) error {
 }
 
 // Realloc implements engine.Policy. The region is re-tracked at its
-// new address; a promoted site's grown allocation re-binds under the
+// new address; a placed site's grown allocation re-binds under the
 // budget check.
 func (p *Policy) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64, error) {
 	if addr == 0 {
@@ -332,9 +436,11 @@ func (p *Policy) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64
 		return p.mk.Realloc(addr, size)
 	}
 	old := p.regions[i]
-	if old.bound {
-		p.mk.BindPages(old.start, 0, old.size, mem.TierDDR)
-		p.fastUsed -= units.PageAlign(old.size)
+	if old.cur != old.seg {
+		p.mk.BindPages(old.start, 0, old.size, old.seg)
+	}
+	if old.cur != p.defID {
+		p.usedBy[old.cur] -= units.PageAlign(old.size)
 	}
 	p.regions = append(p.regions[:i], p.regions[i+1:]...)
 	// Graveyard the old extent like Free does: samples taken against
@@ -342,7 +448,18 @@ func (p *Policy) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64
 	p.freed = append(p.freed, old)
 	na, err := p.mk.Realloc(addr, size)
 	if err != nil {
-		return 0, err
+		if !errors.Is(err, alloc.ErrOutOfMemory) {
+			return 0, err
+		}
+		// Owning heap full (a real event on N-tier machines with a
+		// capacity-clamped default): move down the hierarchy manually.
+		na, _, err = p.mk.MallocFallback(alloc.KindDefault, size)
+		if err != nil {
+			return 0, err
+		}
+		if err := p.mk.Free(addr); err != nil {
+			return 0, err
+		}
 	}
 	if size > p.maxSize[old.site] {
 		p.maxSize[old.site] = size
@@ -350,9 +467,11 @@ func (p *Policy) Realloc(stack callstack.Stack, addr uint64, size int64) (uint64
 	if size > p.epochMax[old.site] {
 		p.epochMax[old.site] = size
 	}
-	rg := region{start: na, size: size, site: old.site}
-	p.bindAtBirth(&rg)
-	p.insert(rg)
+	seg := old.seg
+	if kind, ok := p.mk.KindOf(na); ok {
+		seg, _ = p.mk.TierOf(kind)
+	}
+	p.track(region{start: na, size: size, site: old.site, seg: seg, cur: seg})
 	return na, nil
 }
 
@@ -362,18 +481,48 @@ func (p *Policy) OverheadCycles() units.Cycles { return p.overhead }
 // Stats returns a snapshot of the placer's statistics.
 func (p *Policy) Stats() Stats { return p.stats }
 
-// Promoted returns the currently promoted site set (test/report aid).
+// Promoted returns the sites currently assigned to the fastest tier
+// (test/report aid).
 func (p *Policy) Promoted() []string {
-	out := make([]string, 0, len(p.promoted))
-	for s := range p.promoted {
-		out = append(out, s)
+	fast := p.tiers[0].ID
+	out := make([]string, 0, len(p.assigned))
+	for s, t := range p.assigned {
+		if t == fast {
+			out = append(out, s)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// FastUsed returns the page-aligned fast bytes currently bound.
-func (p *Policy) FastUsed() int64 { return p.fastUsed }
+// AssignedTier returns the solver's current tier for site (the default
+// tier when unassigned).
+func (p *Policy) AssignedTier(site string) mem.TierID {
+	if t, ok := p.assigned[site]; ok {
+		return t
+	}
+	return p.defID
+}
+
+// Assignments returns a copy of the solver's current site→tier map.
+// Sites the waterfall explicitly placed are present — INCLUDING
+// default-tier placements, which anchor spilled regions' rescue
+// migrations — while sites no knapsack ever chose are absent (their
+// regions rest on whatever segment allocated them).
+func (p *Policy) Assignments() map[string]mem.TierID {
+	out := make(map[string]mem.TierID, len(p.assigned))
+	for s, t := range p.assigned {
+		out[s] = t
+	}
+	return out
+}
+
+// FastUsed returns the page-aligned bytes currently bound to the
+// fastest tier.
+func (p *Policy) FastUsed() int64 { return p.usedBy[p.tiers[0].ID] }
+
+// UsedOn returns the page-aligned bytes currently living on tier.
+func (p *Policy) UsedOn(tier mem.TierID) int64 { return p.usedBy[tier] }
 
 // EpochSpec implements engine.EpochPolicy.
 func (p *Policy) EpochSpec() engine.EpochSpec {
@@ -384,9 +533,16 @@ func (p *Policy) EpochSpec() engine.EpochSpec {
 	}
 }
 
+// siteAssign is one solver decision in waterfall packing order.
+type siteAssign struct {
+	site string
+	tier mem.TierID
+}
+
 // EpochEnd implements engine.EpochPolicy: attribute the epoch's
-// samples, re-solve the knapsack against the live footprint, gate the
-// diff on predicted gain vs migration cost, and emit the migrations.
+// samples, re-run the waterfall against the live footprint, gate the
+// diff on predicted net gain vs pairwise migration cost, and emit the
+// migrations.
 func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
 	p.stats.Epochs++
 	p.overhead += replanCycles
@@ -408,117 +564,109 @@ func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
 		return nil
 	}
 
-	selected := p.solve()
-	desired := make(map[string]bool, len(selected))
-	for _, o := range selected {
-		desired[o.ID] = true
+	ordered, next := p.solve()
+
+	// Site-level diff: which sites change tier (counting "unassigned"
+	// as the default tier), and which regions sit off their desired
+	// tier even without a site change (allocations that missed
+	// bindAtBirth while a budget was transiently full).
+	oldOf := func(site string) mem.TierID {
+		if t, ok := p.assigned[site]; ok {
+			return t
+		}
+		return p.defID
 	}
-	var promote, demote []string
-	for s := range desired {
-		if !p.promoted[s] {
-			promote = append(promote, s)
+	newOf := func(site string) mem.TierID {
+		if t, ok := next[site]; ok {
+			return t
+		}
+		return p.defID
+	}
+	changed := make(map[string]bool)
+	for s := range p.assigned {
+		if oldOf(s) != newOf(s) {
+			changed[s] = true
 		}
 	}
-	for s := range p.promoted {
-		if !desired[s] {
-			demote = append(demote, s)
+	for s := range next {
+		if oldOf(s) != newOf(s) {
+			changed[s] = true
 		}
 	}
-	// Already-promoted sites may still hold live regions serving from
-	// DDR — allocations that missed bindAtBirth while the budget was
-	// transiently full. planMoves rebinds them, so they join the plan
-	// (and the gate's gain side) even when the site set is unchanged.
-	rebind := make(map[string]bool)
-	for _, rg := range p.regions {
-		if !rg.bound && p.promoted[rg.site] && desired[rg.site] {
-			rebind[rg.site] = true
+	misplaced := false
+	for i := range p.regions {
+		rg := &p.regions[i]
+		want := rg.seg
+		if t, ok := next[rg.site]; ok {
+			want = t
+		}
+		if rg.cur != want {
+			misplaced = true
+			break
 		}
 	}
-	if len(promote) == 0 && len(demote) == 0 && len(rebind) == 0 {
+	if len(changed) == 0 && !misplaced {
 		return nil
 	}
-	sort.Strings(promote)
-	sort.Strings(demote)
 	p.stats.PlansEvaluated++
 
-	moves, moveCost, fastAfter := p.planMoves(selected, desired, demote)
+	moves, moveCost, usedAfter := p.planMoves(ordered, next)
 
-	// Weight each site's epoch samples by the fraction of its live
-	// bytes the plan actually moves, so the gate prices exactly what
-	// it gates: bytes staying put — already bound, or not fitting the
-	// budget — claim no gain, and bytes that were never bound claim
-	// no loss. Sites with nothing live (churny temporaries) count in
-	// full: promotion serves their next allocations via bindAtBirth,
-	// demotion stops doing so, both with zero move bytes.
-	type siteBytes struct{ total, gaining, losing int64 }
-	sb := make(map[string]*siteBytes)
-	acc := func(site string) *siteBytes {
-		s := sb[site]
-		if s == nil {
-			s = &siteBytes{}
-			sb[site] = s
-		}
-		return s
-	}
+	// Price exactly what the plan moves: each site's epoch samples are
+	// weighted by the fraction of its live bytes changing tier, and
+	// charged PAIRWISE (from -> to) through the prediction model, so a
+	// demotion below DDR books its own (smaller) loss and the net adds
+	// up across an arbitrary hierarchy. Sites with nothing live
+	// (churny temporaries) count in full against their assignment
+	// change: placement serves their next allocations via bindAtBirth,
+	// with zero move bytes.
+	liveBytes := make(map[string]int64)
 	for _, rg := range p.regions {
-		acc(rg.site).total += units.PageAlign(rg.size)
+		liveBytes[rg.site] += units.PageAlign(rg.size)
 	}
-	fast := p.opts.Machine.FastestTier().ID
+	pairSamples := make(map[tierPair]float64)
 	for _, mv := range moves {
 		if i, ok := p.findIndex(mv.Addr); ok {
-			s := acc(p.regions[i].site)
-			if mv.To == fast {
-				s.gaining += units.PageAlign(mv.Size)
-			} else {
-				s.losing += units.PageAlign(mv.Size)
+			rg := &p.regions[i]
+			n := float64(p.agg.EpochSamples(rg.site))
+			if total := liveBytes[rg.site]; total > 0 {
+				pairSamples[tierPair{mv.From, mv.To}] += n * float64(units.PageAlign(mv.Size)) / float64(total)
 			}
 		}
 	}
-	weighted := func(site string, moved func(*siteBytes) int64) float64 {
-		n := float64(p.agg.EpochSamples(site))
-		s := acc(site)
-		if s.total <= 0 {
-			return n
+	for s := range changed {
+		if liveBytes[s] > 0 {
+			continue
 		}
-		return n * float64(moved(s)) / float64(s.total)
-	}
-	var gainSamples, demoteSamples float64
-	for _, s := range promote {
-		gainSamples += weighted(s, func(b *siteBytes) int64 { return b.gaining })
-	}
-	for s := range rebind {
-		gainSamples += weighted(s, func(b *siteBytes) int64 { return b.gaining })
-	}
-	for _, s := range demote {
-		demoteSamples += weighted(s, func(b *siteBytes) int64 { return b.losing })
+		pairSamples[tierPair{oldOf(s), newOf(s)}] += float64(p.agg.EpochSamples(s))
 	}
 
-	if !p.gatePasses(info, int64(gainSamples+0.5), int64(demoteSamples+0.5), moveCost) {
+	if !p.gatePasses(info, pairSamples, moveCost) {
 		p.stats.GateRejected++
 		return nil
 	}
 
 	// Commit: the engine applies the page-table changes and charges
 	// the move traffic; the bookkeeping here must mirror it.
-	for _, s := range demote {
-		delete(p.promoted, s)
-		p.stats.Demotions++
+	for s := range changed {
+		if p.perf[newOf(s)] > p.perf[oldOf(s)] {
+			p.stats.Promotions++
+		} else {
+			p.stats.Demotions++
+		}
 	}
-	for _, s := range promote {
-		p.promoted[s] = true
-		p.stats.Promotions++
-	}
+	p.assigned = next
 	for _, mv := range moves {
 		if i, ok := p.findIndex(mv.Addr); ok {
-			p.regions[i].bound = mv.To == fast
+			p.regions[i].cur = mv.To
 		}
-		if mv.To == fast {
+		if p.perf[mv.To] > p.perf[mv.From] {
 			p.stats.BytesPromoted += mv.Size
 		} else {
 			p.stats.BytesDemoted += mv.Size
 		}
 	}
-	p.fastUsed = fastAfter
+	p.usedBy = usedAfter
 	if len(moves) > 0 {
 		p.stats.MoveEpochs++
 		p.stats.LastMoveEpoch = int64(info.Index)
@@ -526,14 +674,17 @@ func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
 	return moves
 }
 
-// solve re-runs the advisor's knapsack over the live footprint with
-// decayed scores as the cost proxy. A candidate is sized by its live
+// solve re-runs the advisor's waterfall over the live footprint with
+// decayed scores as the cost proxy: the fastest tier's knapsack packs
+// against the placer's budget, each slower tier takes the best of the
+// overflow, and what even the slowest knapsack rejects rests
+// unassigned on its backing segment. A candidate is sized by its live
 // page-aligned bytes; a churny site with nothing live at the boundary
 // claims the room its next temporary will need — this epoch's largest
-// request, or the all-time maximum if it did not allocate this epoch
-// — so one historically huge allocation cannot permanently price a
+// request, or the all-time maximum if it did not allocate this epoch —
+// so one historically huge allocation cannot permanently price a
 // now-small site out of the knapsack.
-func (p *Policy) solve() []advisor.Object {
+func (p *Policy) solve() ([]siteAssign, map[string]mem.TierID) {
 	live := make(map[string]int64)
 	for _, rg := range p.regions {
 		live[rg.site] += units.PageAlign(rg.size)
@@ -558,71 +709,116 @@ func (p *Policy) solve() []advisor.Object {
 		})
 	}
 	sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
-	return p.opts.Strategy.Select(objs, p.opts.Budget)
+
+	var ordered []siteAssign
+	next := make(map[string]mem.TierID)
+	remaining := objs
+	for _, t := range p.tiers {
+		cap := t.Capacity
+		if b, capped := p.budgets[t.ID]; capped {
+			cap = b
+		}
+		chosen := p.opts.Strategy.Select(remaining, advisor.ClampBudget(remaining, cap))
+		inChosen := make(map[string]bool, len(chosen))
+		for _, o := range chosen {
+			inChosen[o.ID] = true
+			ordered = append(ordered, siteAssign{site: o.ID, tier: t.ID})
+			next[o.ID] = t.ID
+		}
+		keep := remaining[:0:0]
+		for _, o := range remaining {
+			if !inChosen[o.ID] {
+				keep = append(keep, o)
+			}
+		}
+		remaining = keep
+	}
+	return ordered, next
 }
 
-// planMoves builds the migration list a commit would need: demotions
-// free budget first, then promotions bind live regions in the
-// knapsack's packing order while they fit. Returns the list, its
-// modeled cost, and the fast usage after applying it.
-func (p *Policy) planMoves(selected []advisor.Object, desired map[string]bool, demote []string) ([]engine.Migration, units.Cycles, int64) {
+// planMoves builds the migration list a commit would need: moves
+// towards slower tiers first (they free faster-tier room), then moves
+// towards faster tiers in the waterfall's packing order while their
+// destination budgets hold. Returns the list, its pairwise modeled
+// cost, and the per-tier usage after applying it.
+func (p *Policy) planMoves(ordered []siteAssign, next map[string]mem.TierID) ([]engine.Migration, units.Cycles, map[mem.TierID]int64) {
 	m := &p.opts.Machine
-	slow := m.SlowestTier().ID
-	fast := m.FastestTier().ID
 	var moves []engine.Migration
 	var cost units.Cycles
-	fastAfter := p.fastUsed
-
-	inDemote := make(map[string]bool, len(demote))
-	for _, s := range demote {
-		inDemote[s] = true
+	usedAfter := make(map[mem.TierID]int64, len(p.usedBy))
+	for t, v := range p.usedBy {
+		usedAfter[t] = v
 	}
+	want := func(rg *region) mem.TierID {
+		if t, ok := next[rg.site]; ok {
+			return t
+		}
+		return rg.seg
+	}
+	move := func(rg *region, to mem.TierID) {
+		pa := units.PageAlign(rg.size)
+		moves = append(moves, engine.Migration{Addr: rg.start, Size: rg.size, From: rg.cur, To: to})
+		cost += mem.MigrationTime(m, p.opts.Cores, rg.size, rg.cur, to)
+		if rg.cur != p.defID {
+			usedAfter[rg.cur] -= pa
+		}
+		if to != p.defID {
+			usedAfter[to] += pa
+		}
+	}
+	// Pass 1: demotions, in address order.
+	demoted := make(map[uint64]bool)
 	for i := range p.regions {
 		rg := &p.regions[i]
-		if !rg.bound || !inDemote[rg.site] {
+		to := want(rg)
+		if to == rg.cur || p.perf[to] >= p.perf[rg.cur] {
 			continue
 		}
-		moves = append(moves, engine.Migration{Addr: rg.start, Size: rg.size, From: fast, To: slow})
-		cost += mem.MigrationTime(m, p.opts.Cores, rg.size, fast, slow)
-		fastAfter -= units.PageAlign(rg.size)
-	}
-	unboundBySite := make(map[string][]int)
-	for i := range p.regions {
-		if !p.regions[i].bound {
-			site := p.regions[i].site
-			unboundBySite[site] = append(unboundBySite[site], i)
+		if !p.budgetFits(to, usedAfter, units.PageAlign(rg.size)) {
+			continue
 		}
+		move(rg, to)
+		demoted[rg.start] = true
 	}
-	for _, o := range selected {
-		for _, i := range unboundBySite[o.ID] {
+	// Pass 2: promotions, in the waterfall's packing order.
+	bySite := make(map[string][]int)
+	for i := range p.regions {
+		bySite[p.regions[i].site] = append(bySite[p.regions[i].site], i)
+	}
+	for _, as := range ordered {
+		for _, i := range bySite[as.site] {
 			rg := &p.regions[i]
-			pa := units.PageAlign(rg.size)
-			if fastAfter+pa > p.opts.Budget {
+			if demoted[rg.start] || rg.cur == as.tier || p.perf[as.tier] <= p.perf[rg.cur] {
 				continue
 			}
-			moves = append(moves, engine.Migration{Addr: rg.start, Size: rg.size, From: slow, To: fast})
-			cost += mem.MigrationTime(m, p.opts.Cores, rg.size, slow, fast)
-			fastAfter += pa
+			if !p.budgetFits(as.tier, usedAfter, units.PageAlign(rg.size)) {
+				continue
+			}
+			move(rg, as.tier)
 		}
 	}
-	return moves, cost, fastAfter
+	return moves, cost, usedAfter
 }
 
+// tierPair is one source/destination tier combination of a plan.
+type tierPair struct{ from, to mem.TierID }
+
 // gatePasses is the hysteresis/cost-benefit gate: the epoch's sample
-// volume gaining fast residency (pre-weighted by the caller) and the
-// volume losing it, expanded by the sampling period, predict the
-// per-epoch cycle delta (internal/predict); the move only happens
-// when that gain, sustained over the horizon, exceeds the migration
-// cost with the hysteresis margin.
-func (p *Policy) gatePasses(info engine.EpochInfo, gainSamples, demoteSamples int64, moveCost units.Cycles) bool {
+// volume changing tiers (pre-weighted by the caller, grouped by
+// source/destination pair), expanded by the sampling period, predicts
+// the signed per-epoch cycle delta (internal/predict); the plan only
+// executes when that net gain, sustained over the horizon, exceeds the
+// pairwise migration cost with the hysteresis margin.
+func (p *Policy) gatePasses(info engine.EpochInfo, pairSamples map[tierPair]float64, moveCost units.Cycles) bool {
 	m := &p.opts.Machine
-	slow := m.SlowestTier().ID
-	fast := m.FastestTier().ID
 	period := float64(p.opts.SamplePeriod)
 
-	gain := predict.EpochGain(m, p.opts.Cores, int64(float64(gainSamples)*period), slow, fast)
-	loss := predict.EpochGain(m, p.opts.Cores, int64(float64(demoteSamples)*period), slow, fast)
-	net := float64(gain) - float64(loss)
+	var net float64
+	for pr, samples := range pairSamples {
+		s := int64(samples + 0.5)
+		misses := int64(float64(s) * period)
+		net += predict.EpochDelta(m, p.opts.Cores, misses, pr.from, pr.to)
+	}
 
 	horizon := p.opts.HorizonEpochs
 	if p.opts.TotalEpochs > 0 {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/callstack"
 	"repro/internal/engine"
 	"repro/internal/interpose"
+	"repro/internal/mem"
 	"repro/internal/online"
 	"repro/internal/paramedir"
 	"repro/internal/units"
@@ -182,5 +183,105 @@ func TestAggregatorBadDecayFallsBack(t *testing.T) {
 	}
 	if d := online.NewAggregator(0.9).Decay(); d != 0.9 {
 		t.Fatalf("decay = %v, want 0.9", d)
+	}
+}
+
+// ntierShift builds a DDR+MCDRAM+NVM machine whose DDR tier is too
+// small to hold both object groups, plus a workload whose hot set
+// flips between the groups mid-run. The only good answer at any
+// moment is: hot group on MCDRAM, one cold object on DDR, the other
+// BELOW DDR on the NVM floor — so every rotation exercises demotion
+// past the default tier.
+func ntierShift() (mem.Machine, *engine.Workload) {
+	m := mem.KNLOptane()
+	m.Cores = 8
+	m.Tiers = append([]mem.TierSpec(nil), m.Tiers...)
+	for i := range m.Tiers {
+		switch m.Tiers[i].ID {
+		case mem.TierMCDRAM:
+			m.Tiers[i].Capacity = 16 * units.MB
+		case mem.TierDDR:
+			m.Tiers[i].Capacity = 12 * units.MB
+		}
+	}
+	const slotIters = 4
+	w := &engine.Workload{
+		Name: "ntiershift", Program: "ntiershift", Language: "C", Parallelism: "MPI",
+		FOMName: "sweeps/s", FOMUnit: "sweeps/s", WorkPerIteration: 1,
+		Iterations: 3 * slotIters, Ranks: 1, Threads: 8,
+		AllocStatements: "4/0/4/0/0/0/0",
+	}
+	for _, n := range []string{"a0", "a1", "b0", "b1"} {
+		w.Objects = append(w.Objects, engine.ObjectSpec{
+			Name: n, Class: engine.Dynamic, Size: 8 * units.MB,
+			SitePath: []string{"main", "init", "alloc_" + n},
+		})
+	}
+	touch := func(names ...string) []engine.Touch {
+		out := make([]engine.Touch, 0, len(names))
+		for _, n := range names {
+			out = append(out, engine.Touch{Object: n, Pattern: engine.Sequential, Refs: 400_000})
+		}
+		return out
+	}
+	w.IterPhases = []engine.Phase{
+		{Routine: "sweep_a", Instructions: 50_000, Touches: touch("a0", "a1"),
+			Rotation: engine.Rotation{Every: slotIters, Count: 2, Slot: 0}},
+		{Routine: "sweep_b", Instructions: 50_000, Touches: touch("b0", "b1"),
+			Rotation: engine.Rotation{Every: slotIters, Count: 2, Slot: 1}},
+	}
+	return m, w
+}
+
+// TestOnlineDemotesBelowDDROnNTierMachine is the N-tier placer's
+// reason to exist: when the hot set moves on a machine with an NVM
+// floor, the waterfall re-solve must not only promote the new hot
+// group but demote the cooling one PAST the default tier, because DDR
+// cannot hold everything that falls out of MCDRAM.
+func TestOnlineDemotesBelowDDROnNTierMachine(t *testing.T) {
+	m, w := ntierShift()
+	var pol *online.Policy
+	res, err := engine.Run(w, engine.Config{
+		Machine: m, Seed: 5,
+		MakePolicy: func(mk *alloc.Memkind, prog *callstack.Program) (engine.Policy, error) {
+			p, err := online.New(mk, prog, online.Options{
+				Machine: m, Budget: 16 * units.MB,
+				SamplePeriod: testPeriod, Hysteresis: 0.8,
+				TotalEpochs: w.Iterations,
+			})
+			pol = p
+			return p, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pol.Stats()
+	if res.Migrations == 0 || st.MoveEpochs == 0 {
+		t.Fatalf("N-tier online run never migrated: %+v", st)
+	}
+	if st.Demotions == 0 || st.BytesDemoted == 0 {
+		t.Fatalf("rotation produced no demotions: %+v", st)
+	}
+	// The cooling group cannot fit DDR whole: the solver must have
+	// banished some site to the NVM floor, and bytes must live there.
+	nvmAssigned := false
+	for _, tier := range pol.Assignments() {
+		if tier == mem.TierNVM {
+			nvmAssigned = true
+		}
+	}
+	if !nvmAssigned {
+		t.Fatalf("no site assigned to the NVM floor after rotation (assignments=%v, stats=%+v)",
+			pol.Assignments(), st)
+	}
+	// (Live-byte counters are zero here — the engine frees every
+	// program-lifetime object at run end — so the floor's occupancy
+	// shows in the heap high-water mark instead.)
+	if res.TierHWMs[mem.TierNVM] == 0 {
+		t.Fatalf("NVM heap never hosted data (HWMs=%v, stats=%+v)", res.TierHWMs, st)
+	}
+	if pol.FastUsed() > 16*units.MB {
+		t.Fatalf("fast usage %d exceeds budget", pol.FastUsed())
 	}
 }

@@ -170,15 +170,33 @@ func (r *replayer) sample(addr uint64) {
 
 // finish converts the per-phase sample streams into predicted times.
 func (r *replayer) finish(rep *advisor.Report) (*Prediction, error) {
-	promoted := make(map[string]bool)
+	// Resolve each entry's target tier against the machine. In a
+	// legacy two-tier report (no per-tier budgets) every entry means
+	// "promote", so unknown names degrade to the fastest tier; in an
+	// N-tier report an unknown name may be a slower-than-default floor
+	// this machine lacks, so the entry rests on the default instead —
+	// mirroring the interposer's resolution rule.
+	fastTier := r.machine.FastestTier()
+	defTier := r.machine.DefaultTier()
+	tierByName := make(map[string]mem.TierID, len(r.machine.Tiers))
+	for _, t := range r.machine.Tiers {
+		tierByName[t.Name] = t.ID
+	}
+	placed := make(map[string]mem.TierID)
 	for _, e := range rep.Entries {
-		if !e.Static {
-			promoted[e.ID] = true
+		if e.Static {
+			continue
 		}
+		id, ok := tierByName[e.Tier]
+		if !ok {
+			if len(rep.Tiers) > 0 {
+				continue
+			}
+			id = fastTier.ID
+		}
+		placed[e.ID] = id
 	}
 
-	ddrTier := r.machine.SlowestTier()
-	fastTier := r.machine.FastestTier()
 	line := r.machine.LineSize
 
 	pred := &Prediction{PhaseSpeedups: make(map[string]float64)}
@@ -192,7 +210,7 @@ func (r *replayer) finish(rep *advisor.Report) (*Prediction, error) {
 		}
 		var moved int64
 		for site, n := range a.samplesBySite {
-			if promoted[site] {
+			if t, ok := placed[site]; ok && t != defTier.ID {
 				moved += n
 			}
 		}
@@ -200,18 +218,18 @@ func (r *replayer) finish(rep *advisor.Report) (*Prediction, error) {
 		allSamples += a.total
 
 		// Reconstruct the phase's tier traffic: each sample stands for
-		// `period` misses of one line.
+		// `period` misses of one line. The profiling run served every
+		// miss from the default tier; the placement run serves each
+		// site's misses from its target tier.
 		ddrTraffic := mem.NewTraffic()
 		newTraffic := mem.NewTraffic()
-		for i := int64(0); i < a.total; i++ {
-			ddrTraffic.Add(ddrTier.ID, line)
-		}
-		stay := a.total - moved
-		for i := int64(0); i < stay; i++ {
-			newTraffic.Add(ddrTier.ID, line)
-		}
-		for i := int64(0); i < moved; i++ {
-			newTraffic.Add(fastTier.ID, line)
+		ddrTraffic.AddBulk(defTier.ID, a.total, line)
+		for site, n := range a.samplesBySite {
+			tier, ok := placed[site]
+			if !ok {
+				tier = defTier.ID
+			}
+			newTraffic.AddBulk(tier, n, line)
 		}
 		ddrMem := ddrTraffic.MemoryTime(&r.machine, r.machine.Cores)
 		newMem := newTraffic.MemoryTime(&r.machine, r.machine.Cores)
@@ -240,13 +258,15 @@ func (r *replayer) finish(rep *advisor.Report) (*Prediction, error) {
 	return pred, nil
 }
 
-// EpochGain estimates the cycles an epoch saves when `misses` of its
-// line-sized LLC misses are served by tier `to` instead of `from` — the same
-// sample-expansion idea as Replay, reduced to one epoch's miss volume
-// so the online placer can weigh predicted gain against migration
-// cost without a full trace. Returns zero when the move would not
-// help.
-func EpochGain(m *mem.Machine, cores int, misses int64, from, to mem.TierID) units.Cycles {
+// EpochDelta estimates the SIGNED cycles an epoch saves when `misses`
+// of its line-sized LLC misses are served by tier `to` instead of
+// `from` — the same sample-expansion idea as Replay, reduced to one
+// epoch's miss volume so the online placer can weigh predicted gain
+// against migration cost without a full trace. Negative values mean
+// the move costs time (a demotion down the hierarchy), which is how
+// the N-tier gate nets promotions against the demotions that fund
+// them.
+func EpochDelta(m *mem.Machine, cores int, misses int64, from, to mem.TierID) float64 {
 	if misses <= 0 || from == to {
 		return 0
 	}
@@ -254,12 +274,17 @@ func EpochGain(m *mem.Machine, cores int, misses int64, from, to mem.TierID) uni
 	was.AddBulk(from, misses, m.LineSize)
 	now := mem.NewTraffic()
 	now.AddBulk(to, misses, m.LineSize)
-	before := was.MemoryTime(m, cores)
-	after := now.MemoryTime(m, cores)
-	if after >= before {
+	return float64(was.MemoryTime(m, cores)) - float64(now.MemoryTime(m, cores))
+}
+
+// EpochGain is EpochDelta clamped to improvements: zero when the move
+// would not help.
+func EpochGain(m *mem.Machine, cores int, misses int64, from, to mem.TierID) units.Cycles {
+	d := EpochDelta(m, cores, misses, from, to)
+	if d <= 0 {
 		return 0
 	}
-	return before - after
+	return units.Cycles(d)
 }
 
 // RankPlacements replays the trace against several candidate reports

@@ -171,3 +171,63 @@ func TestEpochGain(t *testing.T) {
 		t.Errorf("gain did not grow with miss volume: %d vs %d", more, up)
 	}
 }
+
+func TestEpochDeltaSignsAcrossHierarchy(t *testing.T) {
+	m := mem.KNLOptane()
+	const misses = 1_000_000
+	up := EpochDelta(&m, m.Cores, misses, mem.TierDDR, mem.TierMCDRAM)
+	if up <= 0 {
+		t.Fatalf("DDR->MCDRAM delta = %v, want positive", up)
+	}
+	down := EpochDelta(&m, m.Cores, misses, mem.TierDDR, mem.TierNVM)
+	if down >= 0 {
+		t.Fatalf("DDR->NVM delta = %v, want negative (demotion below DDR costs time)", down)
+	}
+	// Rescuing data off the NVM floor is worth more than the same
+	// promotion from DDR.
+	rescue := EpochDelta(&m, m.Cores, misses, mem.TierNVM, mem.TierMCDRAM)
+	if rescue <= up {
+		t.Fatalf("NVM->MCDRAM delta %v not above DDR->MCDRAM %v", rescue, up)
+	}
+	// Antisymmetry: a move and its reverse cancel.
+	if back := EpochDelta(&m, m.Cores, misses, mem.TierNVM, mem.TierDDR); back != -down {
+		t.Fatalf("delta not antisymmetric: %v vs %v", back, -down)
+	}
+	// EpochGain clamps the losing direction to zero.
+	if g := EpochGain(&m, m.Cores, misses, mem.TierDDR, mem.TierNVM); g != 0 {
+		t.Fatalf("gain of a demotion = %v, want 0", g)
+	}
+}
+
+// TestReplayHonorsPerEntryTiers replays one trace against two N-tier
+// reports that differ only in WHERE the hot object's entry points: a
+// placement naming the fastest tier must predict faster than one
+// naming the NVM floor — the per-entry tier resolution the two-tier
+// replay never needed.
+func TestReplayHonorsPerEntryTiers(t *testing.T) {
+	_, _, profRun := profileApp(t, "hpcg")
+	m := mem.KNLOptane()
+	rep := adviseBudget(t, profRun, 256*units.MB)
+	if len(rep.Entries) == 0 {
+		t.Fatal("no entries to retarget")
+	}
+	slow := &advisor.Report{App: rep.App, Strategy: rep.Strategy, Budget: rep.Budget}
+	slow.Entries = append([]advisor.Entry(nil), rep.Entries...)
+	for i := range slow.Entries {
+		slow.Entries[i].Tier = "NVM"
+	}
+	idx, preds, err := RankPlacements(profRun.Trace, []*advisor.Report{slow, rep}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != 1 {
+		t.Fatalf("MCDRAM placement not ranked first: order %v, speedups %v/%v",
+			idx, preds[0].SpeedupVsDDR, preds[1].SpeedupVsDDR)
+	}
+	if preds[0].SpeedupVsDDR >= 1 {
+		t.Fatalf("NVM-floor placement predicted speedup %v, want < 1 (slower than DDR)", preds[0].SpeedupVsDDR)
+	}
+	if preds[1].SpeedupVsDDR <= 1 {
+		t.Fatalf("MCDRAM placement predicted speedup %v, want > 1", preds[1].SpeedupVsDDR)
+	}
+}

@@ -1,0 +1,96 @@
+package hybridmem_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	hm "repro"
+	"repro/internal/units"
+)
+
+// -update regenerates the golden two-tier advisor reports under
+// testdata/seed_reports. The goldens were captured from the seed
+// two-tier implementation; TestAdviseTwoTierSeedInvariance then proves
+// the N-tier waterfall solver degenerates byte-for-byte to the paper's
+// knapsack when given the classic MCDRAM+DDR configuration.
+var updateGoldens = flag.Bool("update", false, "rewrite golden advisor reports")
+
+// goldenStrategies are the packing strategies pinned by the goldens.
+func goldenStrategies() []struct {
+	label string
+	s     hm.Strategy
+} {
+	return []struct {
+		label string
+		s     hm.Strategy
+	}{
+		{"misses0", hm.StrategyMisses(0)},
+		{"density", hm.StrategyDensity},
+	}
+}
+
+// goldenReport runs profile+analyze+advise for one Table I workload
+// with a fixed seed and returns the serialized two-tier report.
+func goldenReport(t *testing.T, w *hm.Workload, strat hm.Strategy) []byte {
+	t.Helper()
+	m := hm.MachineFor(w)
+	tr, _, err := hm.Profile(w, hm.ProfileConfig{
+		Machine: m, Seed: 11, RefScale: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := hm.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hm.Advise(prof, 128*units.MB, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAdviseTwoTierSeedInvariance asserts that the two-tier wrapper
+// Advise produces byte-identical reports to the seed implementation on
+// all eight Table I workloads: the waterfall solver with the slowest
+// tier as implicit default IS the paper's single-knapsack advisor.
+func TestAdviseTwoTierSeedInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling all Table I workloads is not -short")
+	}
+	for _, w := range hm.Workloads() {
+		for _, st := range goldenStrategies() {
+			name := fmt.Sprintf("%s_%s", w.Name, st.label)
+			t.Run(name, func(t *testing.T) {
+				got := goldenReport(t, w, st.s)
+				path := filepath.Join("testdata", "seed_reports", name+".report")
+				if *updateGoldens {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run go test -run SeedInvariance -update): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("report for %s diverged from seed behavior:\n--- seed ---\n%s\n--- got ---\n%s",
+						name, want, got)
+				}
+			})
+		}
+	}
+}

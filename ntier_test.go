@@ -1,0 +1,93 @@
+package hybridmem_test
+
+import (
+	"testing"
+
+	hm "repro"
+	"repro/internal/units"
+)
+
+// TestNTierWaterfallBeatsTwoTierAndDDR is the acceptance scenario of
+// the N-tier refactor, the same run examples/ntier prints: on a
+// KNL+Optane rank (DDR 1.5 GB + MCDRAM 256 MB + NVM 8 GB) with a
+// workload whose hot set exceeds MCDRAM and whose footprint exceeds
+// DDR+MCDRAM, the waterfall advisor must beat both the
+// placement-oblivious DDR run AND the two-tier advisor — which, blind
+// to the NVM floor, lets its DDR overflow spill warm data down by
+// allocation order.
+func TestNTierWaterfallBeatsTwoTierAndDDR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full three-tier runs are not -short")
+	}
+	w := hm.NTierDemoWorkload()
+	m := hm.PerRankMachine(hm.KNLOptane(), w.Ranks, w.Threads)
+	budget := int64(256 * units.MB)
+	cfg := hm.ExecuteConfig{Machine: m, Seed: 42}
+
+	ddr, err := hm.RunBaseline(w, hm.BaselineDDR, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oblivious run must actually suffer the trap: hot/warm data
+	// stranded on the NVM floor by allocation order.
+	if ddr.TierHWMs[hm.TierNVM] == 0 {
+		t.Fatalf("DDR run never spilled to NVM — the scenario is not exercising the floor (HWMs=%v)", ddr.TierHWMs)
+	}
+
+	two, err := hm.Pipeline(w, hm.PipelineConfig{Machine: m, Seed: 42, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two-tier advisor cannot name NVM: its report must be
+	// MCDRAM-only, and the run must still spill to NVM as DDR overflow.
+	for _, e := range two.Report.Entries {
+		if e.Tier != "MCDRAM" {
+			t.Fatalf("two-tier report names tier %q", e.Tier)
+		}
+	}
+	if two.Run.TierHWMs[hm.TierNVM] == 0 {
+		t.Fatal("two-tier run did not overflow to NVM — DDR capacity is not binding")
+	}
+
+	mc := hm.MemoryConfigFor(m, budget)
+	if mc.DefaultTier != "DDR" || len(mc.Tiers) != 3 {
+		t.Fatalf("MemoryConfigFor = %+v", mc)
+	}
+	ntier, err := hm.Pipeline(w, hm.PipelineConfig{Machine: m, Seed: 42, Memory: &mc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The waterfall must banish cold objects to NVM explicitly.
+	nvmEntries := 0
+	for _, e := range ntier.Report.Entries {
+		if e.Tier == "NVM" {
+			nvmEntries++
+		}
+	}
+	if nvmEntries == 0 {
+		t.Fatalf("waterfall report has no NVM entries: %+v", ntier.Report.Entries)
+	}
+
+	if !(ntier.Run.FOM > two.Run.FOM && two.Run.FOM > ddr.FOM) {
+		t.Fatalf("placement ordering wrong: waterfall %.3f, two-tier %.3f, ddr %.3f",
+			ntier.Run.FOM, two.Run.FOM, ddr.FOM)
+	}
+}
+
+// TestHBMCXLWaterfall runs the advisor across the second N-tier
+// machine shape — HBM fastest, DDR default in the middle, CXL below —
+// checking the hierarchy order and that the default tier stays
+// implicit.
+func TestHBMCXLWaterfall(t *testing.T) {
+	m := hm.HBMCXL()
+	mc := hm.MemoryConfigFor(m, 8*units.MB)
+	if mc.DefaultTier != "DDR" {
+		t.Fatalf("default tier = %q", mc.DefaultTier)
+	}
+	if mc.Tiers[0].Name != "HBM" || mc.Tiers[2].Name != "CXL" {
+		t.Fatalf("hierarchy order = %+v", mc.Tiers)
+	}
+	if mc.Tiers[0].Capacity != 8*units.MB {
+		t.Fatalf("fast budget not applied: %+v", mc.Tiers[0])
+	}
+}
