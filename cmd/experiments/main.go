@@ -7,7 +7,13 @@
 //	experiments -fig 4      per-app FOM / HWM / ΔFOM-per-MB grids (Figure 4)
 //	experiments -fig 5      SNAP folded timeline (Figure 5)
 //	experiments -online     static advisor vs online adaptive placement
-//	experiments -ntier      three-tier (DDR+MCDRAM+NVM) placement sweep
+//	experiments -ntier      three-tier (DDR+MCDRAM+NVM) placement sweep,
+//	                        including the DDR-sizing sweep (how little
+//	                        DDR can you buy before the waterfall gain
+//	                        collapses)
+//	experiments -numa       topology-aware vs topology-blind placement
+//	                        on a dual-socket node, plus the bandwidth-
+//	                        contention migration gate
 //	experiments -all        everything, in paper order
 //
 // Use -app to restrict Figure 4 and the -online table to one
@@ -24,6 +30,8 @@ import (
 
 	hm "repro"
 	"repro/internal/callstack"
+	"repro/internal/mem"
+	"repro/internal/predict"
 	"repro/internal/units"
 )
 
@@ -32,6 +40,7 @@ func main() {
 	table := flag.Int("table", 0, "table to regenerate (1)")
 	onl := flag.Bool("online", false, "compare static advisor vs online adaptive placement")
 	ntier := flag.Bool("ntier", false, "three-tier placement sweep on a KNL+Optane node")
+	numa := flag.Bool("numa", false, "topology-aware placement and contention-gated migration")
 	all := flag.Bool("all", false, "regenerate everything")
 	app := flag.String("app", "", "restrict -fig 4 and -online to one application")
 	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
@@ -69,6 +78,10 @@ func main() {
 	}
 	if *all || *ntier {
 		ntierTable(*scale)
+		any = true
+	}
+	if *all || *numa {
+		numaTable(*scale)
 		any = true
 	}
 	if !any {
@@ -332,6 +345,147 @@ func ntierTable(scale float64) {
 	row("online @256 MB", onl)
 	fmt.Fprintf(tw, "online epochs/migrated MB\t%d\t%d\t\t\n", onl.Epochs, onl.MigratedBytes/units.MB)
 	tw.Flush()
+
+	ddrSizingSweep(w, m, ddr, scale)
+}
+
+// ddrSizingSweep answers the Optane provisioning question — how little
+// DRAM can you buy? — by shrinking the per-rank DDR tier under the
+// waterfall advisor (MCDRAM budget fixed at 256 MB) and watching the
+// gain over the oblivious run collapse as warm data is forced onto the
+// NVM floor.
+func ddrSizingSweep(w *hm.Workload, m hm.Machine, ddr *hm.RunResult, scale float64) {
+	header("DDR sizing sweep: waterfall @256 MB MCDRAM, shrinking DDR (ntierdemo)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "DDR size\t%s\tDDR HWM MB\tNVM MB\tvs full-DDR run%%\n", w.FOMUnit)
+	for _, ddrCap := range []int64{1536 * units.MB, 1024 * units.MB, 768 * units.MB, 512 * units.MB, 256 * units.MB} {
+		shrunk := m
+		shrunk.Tiers = append([]hm.TierSpec{}, m.Tiers...)
+		for i := range shrunk.Tiers {
+			if shrunk.Tiers[i].ID == hm.TierDDR {
+				shrunk.Tiers[i].Capacity = ddrCap
+			}
+		}
+		mc := hm.MemoryConfigFor(shrunk, 256*units.MB)
+		pr, err := hm.Pipeline(w, hm.PipelineConfig{
+			Machine: shrunk, Seed: 42, Memory: &mc, RefScale: scale,
+		})
+		check(err)
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%d\t%+.1f%%\n",
+			units.HumanBytes(ddrCap), pr.Run.FOM,
+			pr.Run.TierHWMs[hm.TierDDR]/units.MB,
+			pr.Run.TierHWMs[hm.TierNVM]/units.MB,
+			hm.ImprovementPct(pr.Run.FOM, ddr.FOM))
+	}
+	tw.Flush()
+	fmt.Println("reading: the waterfall holds its gain while DDR still fits the warm set; once warm data spills to NVM the advantage collapses toward the oblivious run")
+}
+
+// numaTable runs the two topology acceptance scenarios.
+//
+// Placement: on a dual-socket rank (near DDR + remote HBM + near NVM)
+// the topology-aware advisor keeps the hot set on near DDR, because
+// the cross-socket distance makes the raw-faster HBM slower
+// end-to-end; the topology-blind advisor (same tiers, distance
+// stripped) ships the hot set across the link and loses.
+//
+// Contention: on a machine whose DDR and MCDRAM share a controller
+// group, the online gate re-prices migrations against the epoch's
+// concurrent traffic — a plan profitable at idle bandwidth is
+// refused, shown both as a direct pricing table and end-to-end.
+func numaTable(scale float64) {
+	header("Topology-aware placement: near DDR vs remote HBM (dual-socket rank)")
+	w := hm.NTierDemoWorkload()
+	m := hm.PerRankMachine(hm.DualSocketHBM(), w.Ranks, w.Threads)
+
+	fmt.Println("per-rank tiers as priced from socket 0 (the rank's pin):")
+	for _, t := range m.Tiers {
+		fmt.Printf("  %-4s %8s  domain %d  raw perf %.2f  distance %.1f  effective %.2f\n",
+			t.Name, units.HumanBytes(t.Capacity), t.Domain,
+			t.RelativePerf, m.TierDistance(t), m.EffectivePerf(t))
+	}
+
+	ddr, err := hm.RunBaseline(w, hm.BaselineDDR, hm.ExecuteConfig{Machine: m, Seed: 42, RefScale: scale})
+	check(err)
+
+	aware := hm.MemoryConfigFor(m, 0)
+	awareRun, err := hm.Pipeline(w, hm.PipelineConfig{Machine: m, Seed: 42, Memory: &aware, RefScale: scale})
+	check(err)
+
+	// The blind configuration is the same tier set with the distance
+	// stripped: the waterfall falls back to raw RelativePerf order.
+	blind := aware
+	blind.Tiers = append([]hm.TierConfig{}, aware.Tiers...)
+	for i := range blind.Tiers {
+		blind.Tiers[i].Distance = 0
+	}
+	blindRun, err := hm.Pipeline(w, hm.PipelineConfig{Machine: m, Seed: 42, Memory: &blind, RefScale: scale})
+	check(err)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "advisor\t%s\tHBM MB\tNVM MB\tvs DDR%%\n", w.FOMUnit)
+	row := func(label string, res *hm.RunResult) {
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%d\t%+.1f%%\n",
+			label, res.FOM,
+			res.TierHWMs[hm.TierHBM]/units.MB,
+			res.TierHWMs[hm.TierNVM]/units.MB,
+			hm.ImprovementPct(res.FOM, ddr.FOM))
+	}
+	row("ddr (oblivious)", ddr)
+	row("topology-blind (hot -> remote HBM)", blindRun.Run)
+	row("topology-aware (hot stays near)", awareRun.Run)
+	tw.Flush()
+
+	contentionGateDemo(scale)
+}
+
+// contentionGateDemo prices one concrete migration plan at idle vs
+// concurrent bandwidth and then shows the end-to-end effect on the
+// online placer.
+func contentionGateDemo(scale float64) {
+	header("Bandwidth-contention migration gate (shared DDR+MCDRAM controller)")
+	w, err := hm.WorkloadByName("phaseshift")
+	check(err)
+	plainM := hm.MachineFor(w)
+	sharedM := hm.WithSharedControllers(plainM, 1, hm.TierDDR, hm.TierMCDRAM)
+
+	// Direct pricing: a 16 MB promotion whose predicted gain clears the
+	// idle gate threshold 2x over, against an epoch streaming DDR at
+	// 80% of its effective bandwidth.
+	const moveBytes = 16 * units.MB
+	const hysteresis = 1.5
+	cores := sharedM.Cores
+	ddrTier, _ := sharedM.Tier(hm.TierDDR)
+	window := units.Cycles(int64(sharedM.ClockHz / 50)) // a 20 ms epoch
+	demandBytes := int64(0.8 * ddrTier.EffectiveBandwidth(cores) / 50)
+	idle := mem.MigrationTime(&sharedM, cores, moveBytes, hm.TierDDR, hm.TierMCDRAM)
+	busy := mem.MigrationTimeUnder(&sharedM, cores, moveBytes, hm.TierDDR, hm.TierMCDRAM,
+		map[hm.TierID]int64{hm.TierDDR: demandBytes}, window)
+	perMiss := predict.EpochDelta(&sharedM, cores, 1_000_000, hm.TierDDR, hm.TierMCDRAM) / 1e6
+	gain := 2 * hysteresis * float64(idle) // passes the idle gate with 2x margin
+	misses := int64(gain / perMiss)
+
+	fmt.Printf("plan: promote %s DDR->MCDRAM; epoch serves %d misses off the moved pages\n",
+		units.HumanBytes(moveBytes), misses)
+	fmt.Printf("  predicted epoch gain:        %12.0f cycles\n", gain)
+	fmt.Printf("  idle migration cost:         %12d cycles -> gate %.1fx cost: ACCEPT\n",
+		idle, gain/float64(idle))
+	fmt.Printf("  cost under concurrent DDR streaming (80%% of bandwidth): %d cycles -> gate %.2fx cost: REJECT\n",
+		busy, gain/float64(busy))
+
+	// End to end: the same online run, plain vs shared controllers.
+	plain, err := hm.RunOnline(w, hm.OnlineConfig{Machine: plainM, Seed: 21, RefScale: scale, Budget: 16 * units.MB})
+	check(err)
+	shared, err := hm.RunOnline(w, hm.OnlineConfig{Machine: sharedM, Seed: 21, RefScale: scale, Budget: 16 * units.MB})
+	check(err)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "\ncontrollers\t%s\tepochs\tmigrations\tmigrated MB\n", w.FOMUnit)
+	fmt.Fprintf(tw, "dedicated (idle pricing)\t%.3f\t%d\t%d\t%d\n",
+		plain.FOM, plain.Epochs, plain.Migrations, plain.MigratedBytes/units.MB)
+	fmt.Fprintf(tw, "shared DDR+MCDRAM (contended pricing)\t%.3f\t%d\t%d\t%d\n",
+		shared.FOM, shared.Epochs, shared.Migrations, shared.MigratedBytes/units.MB)
+	tw.Flush()
+	fmt.Println("reading: with the controller shared, the gate refuses moves the idle model would have taken — migration traffic drops")
 }
 
 // figure5 reproduces the SNAP folded timeline.

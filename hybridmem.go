@@ -83,6 +83,9 @@ type (
 	TierConfig = advisor.TierConfig
 	// TierID identifies a memory tier of a Machine.
 	TierID = mem.TierID
+	// TierSpec describes one memory tier of a Machine (capacity,
+	// latency, bandwidth, NUMA domain, controller group).
+	TierSpec = mem.TierSpec
 	// InterposeOptions tunes the auto-hbwmalloc library.
 	InterposeOptions = interpose.Options
 	// InterposeStats are auto-hbwmalloc's execution statistics.
@@ -147,6 +150,32 @@ func KNLOptane() Machine { return mem.KNLOptane() }
 // HBMCXL returns the HBM-first node with DDR as the default tier and a
 // CXL memory expander below it.
 func HBMCXL() Machine { return mem.HBMCXL() }
+
+// DualSocketHBM returns the two-domain topology showcase: the rank is
+// pinned to socket 0 with plain DDR and an NVM floor, while socket 1
+// carries an HBM-class tier that is raw-faster than DDR but slower
+// end-to-end once the cross-socket distance is priced in.
+func DualSocketHBM() Machine { return mem.DualSocketHBM() }
+
+// PinRank returns the machine with its cores pinned to the given NUMA
+// domain; all tier pricing is taken from that domain's point of view.
+func PinRank(m Machine, domain int) Machine { return mem.Pinned(m, domain) }
+
+// WithSharedControllers declares that the named tiers drain through
+// one shared memory-controller group, enabling the cross-tier
+// contention model of mem.MigrationTimeUnder (e.g. DDR+NVM sharing a
+// socket's iMC on Optane nodes, or HBM+DDR sharing the mesh).
+func WithSharedControllers(m Machine, controller int, tiers ...TierID) Machine {
+	return mem.WithSharedControllers(m, controller, tiers...)
+}
+
+// WithUniformTopology re-declares the machine as a multi-domain node
+// with an all-ones distance matrix — the degenerate topology whose
+// behavior must be byte-identical to the flat machine (see the
+// uniform-topology invariance tests).
+func WithUniformTopology(m Machine, domains int) Machine {
+	return mem.WithUniformTopology(m, domains)
+}
 
 // PerRankMachine derives the machine one MPI rank sees on a node
 // shared by ranks ranks of threads threads each.
@@ -551,10 +580,14 @@ type OnlineConfig struct {
 	// non-default tier (e.g. an NVM floor); missing tiers default to
 	// their capacity.
 	Budgets map[TierID]int64
-	// EveryIterations / EveryRefs set the epoch length (both 0 =
-	// every iteration).
+	// EveryIterations / EveryRefs set the epoch length (all epoch
+	// bounds 0 = every iteration).
 	EveryIterations int
 	EveryRefs       int64
+	// EveryFloorBytes additionally closes an epoch once tiers slower
+	// than the default served that many bytes — rescue migrations
+	// fire exactly when the NVM/CXL floor starts to hurt.
+	EveryFloorBytes int64
 	// SamplePeriod is the in-run monitor's PEBS decimation
 	// (0 = DefaultScaledPeriod).
 	SamplePeriod uint64
@@ -577,13 +610,18 @@ func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
 		if len(cfg.Machine.Tiers) == 0 {
 			return nil, fmt.Errorf("hybridmem: machine has no memory tiers")
 		}
-		budget = cfg.Machine.FastestTier().Capacity
+		// The placer promotes into the EFFECTIVELY-fastest tier (the
+		// near hierarchy's head), so that is the capacity the default
+		// budget must match — on a multi-domain machine the raw-fastest
+		// tier can be a remote one the placer never binds.
+		budget = cfg.Machine.NearFastestTier().Capacity
 	}
 	// The horizon cap is only knowable for purely iteration-counted
-	// epochs; a refs trigger can close epochs at phase granularity,
-	// so its total is workload-dependent and stays unbounded.
+	// epochs; a refs or floor-volume trigger can close epochs at phase
+	// granularity, so its total is workload-dependent and stays
+	// unbounded.
 	totalEpochs := 0
-	if cfg.EveryRefs <= 0 {
+	if cfg.EveryRefs <= 0 && cfg.EveryFloorBytes <= 0 {
 		if cfg.EveryIterations > 0 {
 			totalEpochs = w.Iterations / cfg.EveryIterations
 		} else {
@@ -597,7 +635,8 @@ func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
 			Machine: cfg.Machine, Cores: cfg.Cores, Budget: budget,
 			Budgets:         cfg.Budgets,
 			EveryIterations: cfg.EveryIterations, EveryRefs: cfg.EveryRefs,
-			SamplePeriod: cfg.SamplePeriod, Decay: cfg.Decay,
+			EveryFloorBytes: cfg.EveryFloorBytes,
+			SamplePeriod:    cfg.SamplePeriod, Decay: cfg.Decay,
 			Hysteresis: cfg.Hysteresis, HorizonEpochs: cfg.HorizonEpochs,
 			MinSamples:  cfg.MinSamples,
 			TotalEpochs: totalEpochs, Strategy: cfg.Strategy,

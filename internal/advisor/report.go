@@ -20,6 +20,25 @@ type TierConfig struct {
 	Name         string
 	Capacity     int64
 	RelativePerf float64
+
+	// Distance is the NUMA distance the packing rank pays to reach the
+	// tier (1.0 = local; 0 means unspecified and is treated as local).
+	// The waterfall orders tiers by RelativePerf/Distance — the
+	// effective performance from the accessing domain — so a remote
+	// fast tier packs BELOW near DDR when the hop costs more than the
+	// tier's raw advantage buys, and near instances of equally-fast
+	// tiers fill first. FromMachine derives it from the machine's
+	// distance matrix; uniform machines leave it at local and the
+	// packing order is byte-identical to the flat advisor.
+	Distance float64
+}
+
+// effectivePerf is the tier's performance from the accessing domain.
+func (t TierConfig) effectivePerf() float64 {
+	if t.Distance > 0 {
+		return t.RelativePerf / t.Distance
+	}
+	return t.RelativePerf
 }
 
 // MemoryConfig is the machine description the advisor packs against:
@@ -47,20 +66,30 @@ func TwoTier(fastBudget int64) MemoryConfig {
 }
 
 // FromMachine derives the advisor configuration from a simulated
-// machine: every tier with its capacity and relative performance, the
-// machine's default tier as the advisor default, and — when fastBudget
-// is positive — the fastest tier's capacity replaced by the per-rank
-// budget the paper sweeps.
+// machine: every tier with its capacity, relative performance and NUMA
+// distance from the machine's home domain, the machine's default tier
+// as the advisor default, and — when fastBudget is positive — the
+// budget the paper sweeps replacing the capacity of the effectively-
+// fastest NON-DEFAULT tier (the tier promotions are bound to; budgets
+// never clamp the default tier, which plain malloc must keep filling).
+// On multi-domain machines the tiers arrive in near-hierarchy order,
+// so the budget lands on the tier the pinned rank actually promotes
+// into — which on a DualSocketHBM-style node (default DDR effectively
+// fastest) is the remote HBM overflow tier, not DDR.
 func FromMachine(m *mem.Machine, fastBudget int64) MemoryConfig {
-	hier := m.Hierarchy()
-	mc := MemoryConfig{DefaultTier: m.DefaultTier().Name}
-	for i, t := range hier {
+	hier := m.NearHierarchy()
+	def := m.DefaultTier().Name
+	mc := MemoryConfig{DefaultTier: def}
+	budgeted := false
+	for _, t := range hier {
 		cap := t.Capacity
-		if i == 0 && fastBudget > 0 {
+		if !budgeted && fastBudget > 0 && t.Name != def {
 			cap = fastBudget
+			budgeted = true
 		}
 		mc.Tiers = append(mc.Tiers, TierConfig{
 			Name: t.Name, Capacity: cap, RelativePerf: t.RelativePerf,
+			Distance: m.TierDistance(t),
 		})
 	}
 	return mc
@@ -83,6 +112,9 @@ func (mc *MemoryConfig) Validate() error {
 		if t.RelativePerf <= 0 {
 			return fmt.Errorf("advisor: tier %q relative perf must be positive", t.Name)
 		}
+		if t.Distance < 0 {
+			return fmt.Errorf("advisor: tier %q distance must be non-negative", t.Name)
+		}
 	}
 	if mc.DefaultTier != "" && !names[mc.DefaultTier] {
 		return fmt.Errorf("advisor: default tier %q not in configuration", mc.DefaultTier)
@@ -90,11 +122,19 @@ func (mc *MemoryConfig) Validate() error {
 	return nil
 }
 
-// hierarchy returns the tiers sorted fastest first plus the effective
+// hierarchy returns the tiers sorted effectively-fastest first (the
+// RelativePerf/Distance order the waterfall fills, so near instances
+// of a tier outrank remote ones at equal raw perf) plus the effective
 // default tier name.
 func (mc *MemoryConfig) hierarchy() ([]TierConfig, string) {
 	tiers := append([]TierConfig(nil), mc.Tiers...)
-	sort.SliceStable(tiers, func(i, j int) bool { return tiers[i].RelativePerf > tiers[j].RelativePerf })
+	sort.SliceStable(tiers, func(i, j int) bool {
+		ei, ej := tiers[i].effectivePerf(), tiers[j].effectivePerf()
+		if ei != ej {
+			return ei > ej
+		}
+		return tiers[i].RelativePerf > tiers[j].RelativePerf
+	})
 	def := mc.DefaultTier
 	if def == "" {
 		def = tiers[len(tiers)-1].Name

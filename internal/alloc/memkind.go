@@ -39,6 +39,23 @@ func (k Kind) String() string {
 type HeapSpec struct {
 	Tier mem.TierSpec
 	Size int64
+
+	// Perf is the heap's placement priority — the backing tier's
+	// EFFECTIVE performance from the domain the rank is pinned to
+	// (mem.Machine.EffectivePerf). Zero falls back to the tier's raw
+	// RelativePerf. Fallback chains walk heaps in descending Perf, so
+	// on a multi-domain machine a full near heap spills to the next
+	// NEAREST-fastest heap (distance-ordered spill) rather than the
+	// raw-fastest one a hop away.
+	Perf float64
+}
+
+// perf returns the heap's placement priority.
+func (h HeapSpec) perf() float64 {
+	if h.Perf > 0 {
+		return h.Perf
+	}
+	return h.Tier.RelativePerf
 }
 
 // Memkind is the allocation façade the interposition library talks to:
@@ -94,9 +111,10 @@ func NewMemkindHierarchy(space *Space, heaps []HeapSpec) (*Memkind, error) {
 		mk.order = append(mk.order, k)
 	}
 	mk.byPerf = append([]Kind(nil), mk.order...)
-	// Stable insertion sort by descending tier perf: kinds are few.
+	// Stable insertion sort by descending placement priority (the
+	// effective perf when the caller supplies it): kinds are few.
 	for i := 1; i < len(mk.byPerf); i++ {
-		for j := i; j > 0 && mk.specs[mk.byPerf[j]].Tier.RelativePerf > mk.specs[mk.byPerf[j-1]].Tier.RelativePerf; j-- {
+		for j := i; j > 0 && mk.specs[mk.byPerf[j]].perf() > mk.specs[mk.byPerf[j-1]].perf(); j-- {
 			mk.byPerf[j], mk.byPerf[j-1] = mk.byPerf[j-1], mk.byPerf[j]
 		}
 	}
@@ -146,16 +164,20 @@ func (mk *Memkind) MallocFallback(kind Kind, size int64) (uint64, Kind, error) {
 	return 0, kind, lastErr
 }
 
-// FallbackChain returns kind followed by every kind whose tier is
-// strictly slower, in descending-performance order.
+// FallbackChain returns kind followed by every kind whose heap is
+// strictly slower, in descending placement-priority order. With
+// effective (distance-derated) priorities the chain is the
+// distance-ordered spill of a NUMA node: a site bound to a near tier
+// falls to the nearest next-best heap, and a remote raw-fast heap
+// slots wherever its effective perf puts it.
 func (mk *Memkind) FallbackChain(kind Kind) ([]Kind, error) {
 	if int(kind) >= len(mk.specs) {
 		return nil, fmt.Errorf("alloc: unknown kind %v", kind)
 	}
-	perf := mk.specs[kind].Tier.RelativePerf
+	perf := mk.specs[kind].perf()
 	chain := []Kind{kind}
 	for _, k := range mk.byPerf {
-		if k != kind && mk.specs[k].Tier.RelativePerf < perf {
+		if k != kind && mk.specs[k].perf() < perf {
 			chain = append(chain, k)
 		}
 	}

@@ -12,6 +12,14 @@
 //
 // MCDRAM cache mode is not a policy: it is a machine mode
 // (mem.CacheMode) under which the DDR policy is run.
+//
+// All three policies are topology-transparent: alloc.KindHBW addresses
+// the EFFECTIVELY-fastest non-default heap (the engine orders heaps by
+// NUMA-derated perf from the rank's pinned domain), so on a
+// multi-domain machine numactl -p 1 and autohbw promote into the
+// nearest fast memory — exactly what `numactl --preferred` does on a
+// real node — and their overflow follows the distance-ordered fallback
+// chain.
 package baseline
 
 import (

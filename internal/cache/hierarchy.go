@@ -138,7 +138,9 @@ func (h *Hierarchy) Access(addr uint64) Result {
 // DrainPhase converts the traffic accumulated since the last drain into
 // cycles for a region run on cores cores, adds the buffered cache-hit
 // cycles, and resets both accumulators. Callers invoke it at phase
-// boundaries so bandwidth contention is computed per phase.
+// boundaries so bandwidth contention is computed per phase. The
+// conversion is mem.Traffic.MemoryTime, so tier distance (NUMA) and
+// the machine's TierOverlap combine the per-tier costs.
 func (h *Hierarchy) DrainPhase(cores int) units.Cycles {
 	c := h.traffic.MemoryTime(h.machine, cores) + h.hitCycles
 	h.traffic.Reset()

@@ -19,6 +19,14 @@ type EpochSpec struct {
 	// EveryRefs ends an epoch once N references were simulated since
 	// the previous boundary.
 	EveryRefs int64
+	// EveryFloorBytes ends an epoch once the tiers SLOWER than the
+	// machine's default served that many demand bytes since the
+	// previous boundary (checked at phase boundaries, like EveryRefs).
+	// It is the N-tier rescue trigger: instead of re-advising on a
+	// fixed iteration cadence, the placer is woken exactly when the
+	// NVM/CXL floor starts to hurt. Machines without a floor tier
+	// never fire it.
+	EveryFloorBytes int64
 	// SamplePeriod is the PEBS decimation of the in-run monitor
 	// (0 = pebs.DefaultPeriod). The epoch monitor samples the LLC miss
 	// stream independently of Config.Monitor's trace sampler.
@@ -26,7 +34,7 @@ type EpochSpec struct {
 }
 
 func (s EpochSpec) withDefaults() EpochSpec {
-	if s.EveryIterations <= 0 && s.EveryRefs <= 0 {
+	if s.EveryIterations <= 0 && s.EveryRefs <= 0 && s.EveryFloorBytes <= 0 {
 		s.EveryIterations = 1
 	}
 	return s
@@ -44,6 +52,13 @@ type EpochInfo struct {
 	Refs int64
 	// Samples are the epoch's PEBS samples (addresses + routines).
 	Samples []pebs.Sample
+	// TierBytes is the epoch's demand traffic per memory tier — the
+	// concurrent stream a migration at this boundary must share
+	// controllers with (see mem.MigrationTimeUnder).
+	TierBytes map[mem.TierID]int64
+	// Duration is the simulated length of the epoch; with TierBytes it
+	// yields the demand rate the contention model prices against.
+	Duration units.Cycles
 }
 
 // Migration asks the engine to rebind [Addr, Addr+Size) from one tier
@@ -79,6 +94,9 @@ func (r *runner) maybeEndEpoch(it int, iterBoundary bool) {
 		return
 	}
 	trigger := r.epochSpec.EveryRefs > 0 && r.epochRefs >= r.epochSpec.EveryRefs
+	if r.epochSpec.EveryFloorBytes > 0 && r.floorBytes() >= r.epochSpec.EveryFloorBytes {
+		trigger = true
+	}
 	if iterBoundary && r.epochSpec.EveryIterations > 0 && r.epochIters >= r.epochSpec.EveryIterations {
 		trigger = true
 	}
@@ -88,25 +106,43 @@ func (r *runner) maybeEndEpoch(it int, iterBoundary bool) {
 	info := EpochInfo{
 		Index: r.epochIdx, Iteration: it, Now: r.now,
 		Refs: r.epochRefs, Samples: r.epochSamples,
+		TierBytes: r.epochTierBytes, Duration: r.now - r.epochStart,
 	}
-	r.applyMigrations(r.epochPol.EpochEnd(info))
+	r.applyMigrations(r.epochPol.EpochEnd(info), info.TierBytes, info.Duration)
 	r.epochIdx++
 	r.result.Epochs++
 	r.epochRefs = 0
 	r.epochIters = 0
 	r.epochSamples = nil
+	r.epochTierBytes = make(map[mem.TierID]int64)
+	r.epochStart = r.now
+}
+
+// floorBytes sums the closing epoch's demand served by tiers slower
+// than the default — the volume the EveryFloorBytes trigger watches.
+func (r *runner) floorBytes() int64 {
+	var s int64
+	for t, b := range r.epochTierBytes {
+		if r.floorTiers[t] {
+			s += b
+		}
+	}
+	return s
 }
 
 // applyMigrations rebinds the requested ranges and charges the move
-// traffic: bytes cross both tiers at the slower tier's effective
-// bandwidth, plus per-page remap cost (see mem.MigrationTime).
-func (r *runner) applyMigrations(moves []Migration) {
+// traffic: bytes cross both tiers at the slower endpoint's effective
+// bandwidth — derated by NUMA distance and by the epoch's concurrent
+// demand on shared memory controllers — plus per-page remap cost (see
+// mem.MigrationTimeUnder). Charging the contended price keeps the
+// engine's accounting consistent with the gate that approved the plan.
+func (r *runner) applyMigrations(moves []Migration, demand map[mem.TierID]int64, window units.Cycles) {
 	for _, mv := range moves {
 		if mv.Size <= 0 || mv.From == mv.To {
 			continue
 		}
 		r.space.PageTable().SetRange(mv.Addr, mv.Size, mv.To)
-		cost := mem.MigrationTime(&r.machine, r.cores, mv.Size, mv.From, mv.To)
+		cost := mem.MigrationTimeUnder(&r.machine, r.cores, mv.Size, mv.From, mv.To, demand, window)
 		r.now += cost
 		r.result.Migrations++
 		r.result.MigratedBytes += mv.Size

@@ -28,7 +28,7 @@ type epochProbe struct {
 func (p *epochProbe) Name() string { return "probe" }
 
 func (p *epochProbe) Malloc(_ callstack.Stack, size int64) (uint64, error) {
-	addr, err := p.mk.Malloc(alloc.KindDefault, size)
+	addr, _, err := p.mk.MallocFallback(alloc.KindDefault, size)
 	if err == nil && p.firstAddr == 0 {
 		p.firstAddr, p.firstSize = addr, size
 	}
@@ -273,5 +273,111 @@ func TestEpochSamplePeriodDefault(t *testing.T) {
 	s := pebs.NewSampler(0)
 	if s.Period() != pebs.DefaultPeriod {
 		t.Fatalf("sampler default period = %d", s.Period())
+	}
+}
+
+// floorMachine is a three-tier node whose default DDR is too small for
+// the toy workload, so the hot object spills to the NVM floor and
+// floor-served traffic accumulates from the first iteration.
+func floorMachine() mem.Machine {
+	m := testMachine()
+	for i := range m.Tiers {
+		if m.Tiers[i].ID == mem.TierDDR {
+			m.Tiers[i].Capacity = 8 * units.MB
+		}
+	}
+	m.Tiers = append(m.Tiers, mem.TierSpec{
+		ID: mem.TierNVM, Name: "NVM",
+		Capacity:         1 * units.GB,
+		LatencyCycles:    420,
+		PeakBandwidth:    38e9,
+		PerCoreBandwidth: 2.2e9,
+		RelativePerf:     0.4,
+	})
+	return m
+}
+
+func TestEpochInfoCarriesDemandTraffic(t *testing.T) {
+	var p *epochProbe
+	w := testWorkload()
+	_, err := Run(w, Config{
+		Machine: testMachine(), Seed: 3,
+		MakePolicy: probeFactory(&p, EpochSpec{EveryIterations: 1, SamplePeriod: 199}, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range p.infos {
+		if info.Duration <= 0 {
+			t.Fatalf("epoch %d has duration %d", i, info.Duration)
+		}
+		if info.TierBytes[mem.TierDDR] == 0 {
+			t.Fatalf("epoch %d observed no DDR demand: %v", i, info.TierBytes)
+		}
+	}
+}
+
+// TestEpochFloorBytesTrigger: with the iteration bound effectively off,
+// the floor-volume trigger alone must close epochs as NVM-served
+// traffic accumulates — and must never fire on a machine without a
+// floor tier.
+func TestEpochFloorBytesTrigger(t *testing.T) {
+	var p *epochProbe
+	w := testWorkload()
+	res, err := Run(w, Config{
+		Machine: floorMachine(), Seed: 3,
+		MakePolicy: probeFactory(&p, EpochSpec{EveryIterations: 1000, EveryFloorBytes: 512 * units.KB}, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 0 {
+		t.Fatal("floor trigger never fired despite NVM spill")
+	}
+	for i, info := range p.infos {
+		if info.TierBytes[mem.TierNVM] < 512*units.KB {
+			t.Fatalf("epoch %d closed below the floor threshold: %v", i, info.TierBytes)
+		}
+	}
+
+	var q *epochProbe
+	res2, err := Run(w, Config{
+		Machine: testMachine(), Seed: 3,
+		MakePolicy: probeFactory(&q, EpochSpec{EveryIterations: 1000, EveryFloorBytes: 512 * units.KB}, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Epochs != 0 {
+		t.Fatalf("floor trigger fired %d times on a floorless machine", res2.Epochs)
+	}
+}
+
+// TestMigrationChargedWithContention: on a machine declaring a shared
+// controller between the migration's endpoints and the application's
+// demand tier, the engine charges the contended price — strictly more
+// than the idle MigrationTime of the same move.
+func TestMigrationChargedWithContention(t *testing.T) {
+	w := testWorkload()
+	m := mem.WithSharedControllers(testMachine(), 1, mem.TierDDR, mem.TierMCDRAM)
+	var moving *epochProbe
+	res, err := Run(w, Config{
+		Machine: m, Seed: 3,
+		MakePolicy: probeFactory(&moving, EpochSpec{EveryIterations: 1}, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 1 {
+		t.Fatalf("migrations = %d", res.Migrations)
+	}
+	idle := mem.MigrationTime(&m, m.Cores, moving.firstSize, mem.TierDDR, mem.TierMCDRAM)
+	if res.MigrationCycles <= idle {
+		t.Fatalf("contended charge %d not above idle %d", res.MigrationCycles, idle)
+	}
+	want := mem.MigrationTimeUnder(&m, m.Cores, moving.firstSize,
+		mem.TierDDR, mem.TierMCDRAM, moving.infos[0].TierBytes, moving.infos[0].Duration)
+	if res.MigrationCycles != want {
+		t.Fatalf("charge %d != contended model %d", res.MigrationCycles, want)
 	}
 }

@@ -184,6 +184,14 @@ type runner struct {
 	epochRefs    int64
 	epochIters   int
 	epochIdx     int
+	// epochTierBytes accumulates the epoch's demand traffic per tier
+	// (snapshotted from the cache hierarchy at each phase drain);
+	// epochStart marks the boundary the epoch opened at. Together they
+	// give the demand RATE the contention-aware migration pricing
+	// charges gate-passing plans with.
+	epochTierBytes map[mem.TierID]int64
+	epochStart     units.Cycles
+	floorTiers     map[mem.TierID]bool
 
 	monitorOverhead units.Cycles
 	allocEventCost  units.Cycles
@@ -210,8 +218,13 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 	if len(cfg.Machine.Tiers) < 2 {
 		return nil, fmt.Errorf("engine: machine needs at least two memory tiers")
 	}
+	// The run executes from the machine's home domain (the rank's NUMA
+	// pin): the "fastest" tier is the effectively-fastest one from
+	// there, and heaps are built in near-hierarchy order so fallback
+	// chains spill by distance. Single-domain machines degenerate to
+	// the raw hierarchy.
 	defTier := cfg.Machine.DefaultTier()
-	fastTier := cfg.Machine.FastestTier()
+	fastTier := cfg.Machine.NearFastestTier()
 	pt := mem.NewPageTable(defTier.ID)
 	space := alloc.NewSpace(pt)
 
@@ -236,14 +249,14 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 		fastLeft = units.PageSize
 	}
 	ddrHeap := w.DynamicFootprint()*2 + units.GB
-	// The default tier's capacity only binds when the machine has a
-	// slower tier to spill into: the paper's two-tier model treats DDR
-	// as effectively unbounded for its workloads, while an N-tier node
-	// with an NVM/CXL floor makes DDR exhaustion a real event that
-	// cascades allocations down the hierarchy. Statics and stack
-	// resident on the default tier count against its capacity, so the
-	// heap gets only the remainder.
-	if len(cfg.Machine.SlowerTiers()) > 0 {
+	// The default tier's capacity only binds when the machine has an
+	// effectively-slower tier to spill into: the paper's two-tier model
+	// treats DDR as effectively unbounded for its workloads, while an
+	// N-tier node with an NVM/CXL floor — or a remote tier the fallback
+	// chain cascades to — makes DDR exhaustion a real event. Statics
+	// and stack resident on the default tier count against its
+	// capacity, so the heap gets only the remainder.
+	if len(cfg.Machine.EffectivelySlowerTiers()) > 0 {
 		avail := defTier.Capacity - defUsed
 		if avail < units.PageSize {
 			avail = units.PageSize
@@ -253,10 +266,14 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 		}
 	}
 	// One heap per tier: the default tier first (kind 0, plain malloc),
-	// then every other tier in descending performance order, so
-	// alloc.KindHBW keeps addressing the fastest non-default heap.
-	heaps := []alloc.HeapSpec{{Tier: defTier, Size: ddrHeap}}
-	for _, t := range cfg.Machine.Hierarchy() {
+	// then every other tier in descending EFFECTIVE performance order,
+	// so alloc.KindHBW keeps addressing the fastest non-default heap as
+	// seen from the rank's domain. Each heap carries its effective perf
+	// as the placement priority the fallback chains walk.
+	heaps := []alloc.HeapSpec{{
+		Tier: defTier, Size: ddrHeap, Perf: cfg.Machine.EffectivePerf(defTier),
+	}}
+	for _, t := range cfg.Machine.NearHierarchy() {
 		if t.ID == defTier.ID {
 			continue
 		}
@@ -264,7 +281,9 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 		if t.ID == fastTier.ID {
 			size = fastLeft
 		}
-		heaps = append(heaps, alloc.HeapSpec{Tier: t, Size: size})
+		heaps = append(heaps, alloc.HeapSpec{
+			Tier: t, Size: size, Perf: cfg.Machine.EffectivePerf(t),
+		})
 	}
 	mk, err := alloc.NewMemkindHierarchy(space, heaps)
 	if err != nil {
@@ -289,6 +308,11 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 		r.epochPol = ep
 		r.epochSpec = ep.EpochSpec().withDefaults()
 		r.epochSampler = pebs.NewSampler(r.epochSpec.SamplePeriod)
+		r.epochTierBytes = make(map[mem.TierID]int64)
+		r.floorTiers = make(map[mem.TierID]bool)
+		for _, t := range cfg.Machine.EffectivelySlowerTiers() {
+			r.floorTiers[t.ID] = true
+		}
 		// The epoch monitor's interrupt cost is scaled like the trace
 		// monitor's: the simulation compresses run time, so unscaled
 		// per-event costs would inflate the overhead share. A custom
@@ -338,7 +362,7 @@ func (r *runner) placeStaticsAndStack(fastCap int64) (int64, int64, error) {
 		}
 		tier := r.machine.DefaultTier().ID
 		if r.cfg.StaticsInFast && total <= fastCap {
-			tier = r.machine.FastestTier().ID
+			tier = r.machine.NearFastestTier().ID
 			fastCap -= total
 		}
 		if tier == r.machine.DefaultTier().ID {
@@ -466,6 +490,10 @@ func (r *runner) execute() error {
 	// closed on (and the placer never advised by) init-only traffic.
 	r.epochRefs = 0
 	r.epochSamples = nil
+	if r.epochPol != nil {
+		r.epochTierBytes = make(map[mem.TierID]int64)
+		r.epochStart = r.now
+	}
 
 	reallocIter := r.w.Iterations / 2
 	for it := 0; it < r.w.Iterations; it++ {
@@ -600,6 +628,14 @@ func (r *runner) runPhase(ph *Phase, iter int) error {
 
 	instrs := ph.Instructions + totalRefs
 	computeCycles := cyclesForInstructions(instrs, r.cores)
+	if r.epochPol != nil {
+		// Snapshot the phase's per-tier demand before the drain resets
+		// it: the closing epoch's traffic prices migrations under
+		// contention and feeds the floor-volume epoch trigger.
+		for t, b := range r.hier.PendingTraffic().BytesByTier() {
+			r.epochTierBytes[t] += b
+		}
+	}
 	memCycles := r.hier.DrainPhase(r.cores)
 	dur := computeCycles + memCycles
 	if dur <= 0 {

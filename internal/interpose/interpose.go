@@ -14,7 +14,12 @@
 // down the hierarchy — a site bound to tier k falls to k+1, k+2, …
 // on capacity exhaustion, and even unmatched allocations cascade below
 // the default tier when the default heap itself fills (the DDR→NVM
-// overflow of an Optane-class node).
+// overflow of an Optane-class node). On multi-domain machines the
+// chain is DISTANCE-ORDERED: heaps carry the effective (NUMA-derated)
+// perf of their backing tier from the rank's pinned domain, so a site
+// binds to its preferred near tier and spills to the nearest next-best
+// memory rather than a raw-faster tier a hop away (alloc.HeapSpec.Perf,
+// mem.Machine.NearHierarchy).
 //
 // The library keeps the bookkeeping the paper enumerates: which
 // allocations each allocator owns (so frees are routed correctly), how

@@ -9,13 +9,38 @@ import "repro/internal/units"
 // mbind round trip.
 const pageRemapCycles units.Cycles = 120
 
+// migrationFloorShare is the minimum fraction of a tier's idle
+// bandwidth a migration stream is guaranteed under contention: memory
+// controllers arbitrate round-robin, so the copy is throttled by
+// concurrent demand but never starved outright.
+const migrationFloorShare = 0.1
+
 // MigrationTime models moving bytes of live data from one tier to
-// another while the application runs. The copy reads the source tier
-// and writes the destination tier simultaneously, so its rate is the
-// slower of the two effective bandwidths; on top of the copy every
-// touched page pays a remap cost. A tier missing from the machine (or
-// a same-tier move) costs nothing — there is nothing to move across.
+// another while the application runs, at idle bandwidth. The copy
+// reads the source tier and writes the destination tier
+// simultaneously, so its rate is the slower of the two effective
+// bandwidths — each taken from the machine's home domain, so a remote
+// endpoint's bandwidth is divided by its NUMA distance; on top of the
+// copy every touched page pays a remap cost. A tier missing from the
+// machine (or a same-tier move) costs nothing — there is nothing to
+// move across.
 func MigrationTime(m *Machine, cores int, bytes int64, from, to TierID) units.Cycles {
+	return MigrationTimeUnder(m, cores, bytes, from, to, nil, 0)
+}
+
+// MigrationTimeUnder is MigrationTime priced against the application's
+// CONCURRENT traffic: demand maps each tier to the bytes the
+// application moved against it over the last window cycles (an epoch's
+// observed traffic). Tiers declaring a shared memory controller
+// (TierSpec.Controller > 0) lose migration bandwidth to the demand
+// draining through the same controller group — the DDR+NVM shared-iMC
+// effect that makes a rescue migration profitable at idle bandwidth
+// but unprofitable while the application streams DDR. The copy always
+// keeps migrationFloorShare of the idle bandwidth (controller
+// arbitration never starves it). Tiers with dedicated controllers
+// (Controller 0) ignore demand entirely, so machines that do not
+// declare sharing price identically to MigrationTime.
+func MigrationTimeUnder(m *Machine, cores int, bytes int64, from, to TierID, demand map[TierID]int64, window units.Cycles) units.Cycles {
 	if bytes <= 0 || from == to {
 		return 0
 	}
@@ -24,8 +49,8 @@ func MigrationTime(m *Machine, cores int, bytes int64, from, to TierID) units.Cy
 	if !okSrc || !okDst {
 		return 0
 	}
-	bw := src.EffectiveBandwidth(cores)
-	if d := dst.EffectiveBandwidth(cores); d < bw {
+	bw := m.migrationBandwidth(src, cores, demand, window)
+	if d := m.migrationBandwidth(dst, cores, demand, window); d < bw {
 		bw = d
 	}
 	if bw <= 0 {
@@ -33,4 +58,30 @@ func MigrationTime(m *Machine, cores int, bytes int64, from, to TierID) units.Cy
 	}
 	copyCycles := units.Cycles(float64(bytes) / bw * m.ClockHz)
 	return copyCycles + units.Cycles(units.PagesFor(bytes))*pageRemapCycles
+}
+
+// migrationBandwidth returns the bytes/second a migration endpoint on
+// tier t delivers from the home domain: the effective bandwidth
+// divided by the NUMA distance, minus the concurrent demand rate on
+// t's shared-controller group (floored at migrationFloorShare).
+func (m *Machine) migrationBandwidth(t TierSpec, cores int, demand map[TierID]int64, window units.Cycles) float64 {
+	idle := t.EffectiveBandwidth(cores) / m.TierDistance(t)
+	if t.Controller <= 0 || len(demand) == 0 || window <= 0 {
+		return idle
+	}
+	var demandBytes int64
+	for _, u := range m.Tiers {
+		if u.Controller == t.Controller {
+			demandBytes += demand[u.ID]
+		}
+	}
+	if demandBytes <= 0 {
+		return idle
+	}
+	rate := float64(demandBytes) * m.ClockHz / float64(window)
+	avail := idle - rate
+	if floor := idle * migrationFloorShare; avail < floor {
+		avail = floor
+	}
+	return avail
 }

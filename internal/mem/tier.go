@@ -76,8 +76,26 @@ type TierSpec struct {
 
 	// RelativePerf orders tiers for the advisor's knapsack descent
 	// (higher = faster = filled first). The paper's hmem_advisor takes
-	// the same notion from its memory configuration file.
+	// the same notion from its memory configuration file. It is the
+	// tier's LOCAL performance: consumers that price placements from a
+	// specific NUMA domain divide it by the domain distance (see
+	// Machine.EffectivePerf).
 	RelativePerf float64
+
+	// Domain is the NUMA domain the tier's DIMMs hang off (the socket
+	// whose memory controller serves them). Zero on single-domain
+	// machines. Accesses from other domains pay the Machine.Distance
+	// factor in both latency and bandwidth.
+	Domain int
+
+	// Controller is the memory-controller group the tier drains
+	// through. Zero means a dedicated channel (no modeled cross-tier
+	// contention). Tiers sharing a positive Controller value contend
+	// for the same controller: a migration stream touching one of them
+	// fights the application's concurrent traffic on all of them (the
+	// DDR+NVM shared-iMC effect on Optane nodes, or the shared mesh of
+	// HBM+DDR packages). See MigrationTimeUnder.
+	Controller int
 }
 
 // EffectiveBandwidth returns the bandwidth in bytes/second the tier
@@ -112,6 +130,33 @@ type Machine struct {
 	LineSize int64
 	Tiers    []TierSpec
 	Mode     CacheModeKind
+
+	// Domains is the number of NUMA domains (sockets / sub-NUMA
+	// clusters). Zero or one means a uniform machine: every tier is
+	// equidistant and all topology pricing degenerates to the flat
+	// model.
+	Domains int
+
+	// Distance is the Domains×Domains NUMA distance matrix, normalized
+	// so that 1.0 is a local access (the SLIT convention divided by the
+	// local value). Accessing tier t from domain d scales t's latency
+	// by Distance[d][t.Domain] and divides its effective bandwidth by
+	// the same factor. A nil matrix means uniform distance 1.0
+	// everywhere, even with several domains declared.
+	Distance [][]float64
+
+	// HomeDomain is the domain this machine's cores execute in — the
+	// domain the engine pins the rank to. All tier pricing is taken
+	// from its point of view.
+	HomeDomain int
+
+	// TierOverlap is the fraction of the non-dominant tiers' drain
+	// time that hides under the dominant tier's in Traffic.MemoryTime
+	// (tiers are independent channels, but demand accesses interleave
+	// within each thread's dependency chains, so the overlap is
+	// imperfect). Zero selects DefaultTierOverlap; contention
+	// experiments override it per machine instead of patching source.
+	TierOverlap float64
 
 	// LLC describes the last-level cache in front of the memory tiers
 	// (the L2 on Xeon Phi). PEBS samples its misses.
@@ -342,6 +387,12 @@ func (m *Machine) Validate() error {
 	if len(m.Tiers) == 0 {
 		return fmt.Errorf("mem: at least one tier required")
 	}
+	if m.TierOverlap < 0 || m.TierOverlap > 1 {
+		return fmt.Errorf("mem: tier overlap %g outside [0, 1]", m.TierOverlap)
+	}
+	if err := m.validateTopology(); err != nil {
+		return err
+	}
 	seen := map[TierID]bool{}
 	names := map[string]bool{}
 	for _, t := range m.Tiers {
@@ -363,6 +414,12 @@ func (m *Machine) Validate() error {
 		}
 		if t.RelativePerf <= 0 {
 			return fmt.Errorf("mem: tier %q relative perf must be positive", m.TierName(t.ID))
+		}
+		if t.Domain < 0 || t.Domain >= m.NumDomains() {
+			return fmt.Errorf("mem: tier %q domain %d outside [0, %d)", m.TierName(t.ID), t.Domain, m.NumDomains())
+		}
+		if t.Controller < 0 {
+			return fmt.Errorf("mem: tier %q controller must be non-negative", m.TierName(t.ID))
 		}
 	}
 	return nil

@@ -56,12 +56,26 @@ func (tr *Traffic) Reset() {
 	tr.visits = make(map[TierID]int64)
 }
 
-// tierOverlap is the fraction of the non-dominant tiers' drain time
-// that hides under the dominant tier's. Tiers are independent channels,
-// but demand accesses interleave within each thread's dependency
-// chains, so the overlap is imperfect: the region's memory time is
-// max + (1-tierOverlap) * rest.
-const tierOverlap = 0.6
+// DefaultTierOverlap is the fraction of the non-dominant tiers' drain
+// time that hides under the dominant tier's. Tiers are independent
+// channels, but demand accesses interleave within each thread's
+// dependency chains, so the overlap is imperfect: the region's memory
+// time is max + (1-overlap) * rest. Machines override the value via
+// Machine.TierOverlap (see Machine.OverlapFraction).
+const DefaultTierOverlap = 0.6
+
+// BytesByTier returns a copy of the per-tier byte counters — the
+// epoch-traffic snapshot the engine hands to topology-aware migration
+// pricing.
+func (tr *Traffic) BytesByTier() map[TierID]int64 {
+	out := make(map[TierID]int64, len(tr.bytes))
+	for t, b := range tr.bytes {
+		if b != 0 {
+			out[t] = b
+		}
+	}
+	return out
+}
 
 // MemoryTime converts the accumulated traffic into simulated cycles for
 // a region executed on cores cores of machine m.
@@ -69,8 +83,12 @@ const tierOverlap = 0.6
 // Per tier the cost is max(latencyComponent/overlap, bandwidthComponent):
 // the latency component is visits*latency divided by the memory-level
 // parallelism the cores can extract (outstanding misses overlap), and
-// the bandwidth component is bytes / effectiveBandwidth. Across tiers
-// the costs combine with partial overlap (see tierOverlap).
+// the bandwidth component is bytes / effectiveBandwidth. Both are
+// priced from the machine's home domain: a remote tier's latency is
+// multiplied by the NUMA distance and its bandwidth divided by it, so
+// the same traffic costs more the farther the serving DIMMs sit.
+// Across tiers the costs combine with partial overlap (see
+// Machine.OverlapFraction).
 func (tr *Traffic) MemoryTime(m *Machine, cores int) units.Cycles {
 	if cores <= 0 {
 		cores = 1
@@ -82,11 +100,12 @@ func (tr *Traffic) MemoryTime(m *Machine, cores int) units.Cycles {
 		if v == 0 && b == 0 {
 			continue
 		}
+		dist := m.TierDistance(spec)
 		// Each core sustains ~16 outstanding misses (KNL hardware
 		// prefetchers keep many L2 fills in flight for streams).
 		mlp := float64(cores) * 16
-		lat := units.Cycles(float64(v) * float64(spec.LatencyCycles) / mlp)
-		bw := spec.EffectiveBandwidth(cores)
+		lat := units.Cycles(float64(v) * float64(spec.LatencyCycles) * dist / mlp)
+		bw := spec.EffectiveBandwidth(cores) / dist
 		bwCycles := units.Cycles(float64(b) / bw * m.ClockHz)
 		c := lat
 		if bwCycles > c {
@@ -97,5 +116,5 @@ func (tr *Traffic) MemoryTime(m *Machine, cores int) units.Cycles {
 			worst = c
 		}
 	}
-	return worst + units.Cycles(float64(sum-worst)*(1-tierOverlap))
+	return worst + units.Cycles(float64(sum-worst)*(1-m.OverlapFraction()))
 }

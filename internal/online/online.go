@@ -11,7 +11,11 @@
 // source/destination tier) outweighs the migration traffic with
 // hysteresis to spare — so stable workloads settle after one placement
 // and phase-shifting workloads re-place exactly when their hot set
-// moves.
+// moves. On machines that declare shared memory controllers the gate
+// prices migrations against the epoch's CONCURRENT traffic
+// (mem.MigrationTimeUnder): a rescue move profitable at idle DDR
+// bandwidth is refused while the application is streaming the
+// controller the copy would cross.
 //
 // The placer is tier-count-agnostic: the per-epoch solve is the same
 // waterfall the offline advisor runs — fill the fastest tier, cascade
@@ -72,9 +76,14 @@ type Options struct {
 	Budgets map[mem.TierID]int64
 
 	// EveryIterations / EveryRefs bound the epoch length (see
-	// engine.EpochSpec; both zero = one-iteration epochs).
+	// engine.EpochSpec; all bounds zero = one-iteration epochs).
 	EveryIterations int
 	EveryRefs       int64
+	// EveryFloorBytes additionally closes an epoch once tiers slower
+	// than the default served that many demand bytes — the rescue
+	// trigger that fires exactly when the NVM/CXL floor starts to
+	// hurt, instead of waiting out an iteration cadence.
+	EveryFloorBytes int64
 	// SamplePeriod is the in-run monitor's PEBS decimation
 	// (0 = DefaultSamplePeriod).
 	SamplePeriod uint64
@@ -184,6 +193,12 @@ type Policy struct {
 	assigned map[string]mem.TierID // site -> solver-assigned tier
 	usedBy   map[mem.TierID]int64  // page-aligned bytes on each non-default tier
 
+	// demand/window hold the closing epoch's per-tier traffic and
+	// duration (engine.EpochInfo): the concurrent stream migrations
+	// are priced against on shared-controller machines.
+	demand map[mem.TierID]int64
+	window units.Cycles
+
 	overhead units.Cycles
 	stats    Stats
 }
@@ -202,7 +217,11 @@ func New(mk *alloc.Memkind, prog *callstack.Program, opts Options) (*Policy, err
 	if len(opts.Machine.Tiers) < 2 {
 		return nil, fmt.Errorf("online: machine needs at least two tiers")
 	}
-	hier := opts.Machine.Hierarchy()
+	// The placer sees the hierarchy from the rank's NUMA domain: a
+	// remote raw-fast tier slots by its effective perf, so promotions
+	// target the nearest-fastest memory (identical to the raw order on
+	// single-domain machines).
+	hier := opts.Machine.NearHierarchy()
 	fast := hier[0]
 	def := opts.Machine.DefaultTier()
 	if fast.ID == def.ID {
@@ -244,7 +263,7 @@ func New(mk *alloc.Memkind, prog *callstack.Program, opts Options) (*Policy, err
 		stats:    Stats{LastMoveEpoch: -1},
 	}
 	for _, t := range hier {
-		p.perf[t.ID] = t.RelativePerf
+		p.perf[t.ID] = opts.Machine.EffectivePerf(t)
 		if t.ID == p.defID {
 			continue
 		}
@@ -529,6 +548,7 @@ func (p *Policy) EpochSpec() engine.EpochSpec {
 	return engine.EpochSpec{
 		EveryIterations: p.opts.EveryIterations,
 		EveryRefs:       p.opts.EveryRefs,
+		EveryFloorBytes: p.opts.EveryFloorBytes,
 		SamplePeriod:    p.opts.SamplePeriod,
 	}
 }
@@ -546,6 +566,11 @@ type siteAssign struct {
 func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
 	p.stats.Epochs++
 	p.overhead += replanCycles
+	// The epoch's demand traffic prices this boundary's migrations:
+	// on machines with shared controllers, a plan profitable at idle
+	// bandwidth can be unprofitable while the application streams the
+	// controller the copy crosses.
+	p.demand, p.window = info.TierBytes, info.Duration
 
 	var attributed int64
 	for _, s := range info.Samples {
@@ -758,7 +783,7 @@ func (p *Policy) planMoves(ordered []siteAssign, next map[string]mem.TierID) ([]
 	move := func(rg *region, to mem.TierID) {
 		pa := units.PageAlign(rg.size)
 		moves = append(moves, engine.Migration{Addr: rg.start, Size: rg.size, From: rg.cur, To: to})
-		cost += mem.MigrationTime(m, p.opts.Cores, rg.size, rg.cur, to)
+		cost += mem.MigrationTimeUnder(m, p.opts.Cores, rg.size, rg.cur, to, p.demand, p.window)
 		if rg.cur != p.defID {
 			usedAfter[rg.cur] -= pa
 		}

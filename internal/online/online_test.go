@@ -285,3 +285,74 @@ func TestOnlineDemotesBelowDDROnNTierMachine(t *testing.T) {
 		t.Fatalf("fast usage %d exceeds budget", pol.FastUsed())
 	}
 }
+
+// TestContentionGateRefusesMigrationUnderSharedController is the
+// bandwidth-contention acceptance scenario: the same phase-shifting
+// run, on the same machine numbers, migrates freely when the tiers
+// have dedicated controllers but is pinned down when DDR and MCDRAM
+// share one — the plan that is profitable at idle bandwidth becomes
+// unprofitable priced against the epoch's concurrent traffic.
+func TestContentionGateRefusesMigrationUnderSharedController(t *testing.T) {
+	w := apps.PhaseShift()
+	const budget = 16 * units.MB
+
+	plain, plainPol := runOnline(t, w, online.Options{Budget: budget}, 7)
+	if plain.Migrations == 0 {
+		t.Fatal("baseline online run never migrated — contention comparison is vacuous")
+	}
+
+	shared := apps.MachineFor(w)
+	shared = mem.WithSharedControllers(shared, 1, mem.TierDDR, mem.TierMCDRAM)
+	var pol *online.Policy
+	res, err := engine.Run(w, engine.Config{
+		Machine: shared, Seed: 7 + 0x9e37,
+		MakePolicy: func(mk *alloc.Memkind, prog *callstack.Program) (engine.Policy, error) {
+			p, err := online.New(mk, prog, online.Options{
+				Machine: shared, Budget: budget,
+				SamplePeriod: testPeriod, TotalEpochs: w.Iterations,
+			})
+			pol = p
+			return p, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigratedBytes >= plain.MigratedBytes {
+		t.Fatalf("shared-controller run migrated %d bytes, plain run %d — contention did not bite",
+			res.MigratedBytes, plain.MigratedBytes)
+	}
+	if pol.Stats().GateRejected <= plainPol.Stats().GateRejected {
+		t.Fatalf("shared gate rejected %d plans vs plain %d — pricing unchanged",
+			pol.Stats().GateRejected, plainPol.Stats().GateRejected)
+	}
+}
+
+// TestFloorBytesTriggerDrivesRescue: with the iteration cadence
+// effectively off, the NVM-miss-volume trigger alone must wake the
+// placer — and the epochs it closes carry enough floor traffic to act.
+func TestFloorBytesTriggerDrivesRescue(t *testing.T) {
+	m, w := ntierShift()
+	var pol *online.Policy
+	res, err := engine.Run(w, engine.Config{
+		Machine: m, Seed: 5,
+		MakePolicy: func(mk *alloc.Memkind, prog *callstack.Program) (engine.Policy, error) {
+			p, err := online.New(mk, prog, online.Options{
+				Machine: m, Budget: 16 * units.MB,
+				EveryIterations: 1000, EveryFloorBytes: 4 * units.MB,
+				SamplePeriod: testPeriod, Hysteresis: 0.8,
+			})
+			pol = p
+			return p, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 0 {
+		t.Fatal("floor trigger never closed an epoch despite NVM spill")
+	}
+	if res.Migrations == 0 || pol.Stats().MoveEpochs == 0 {
+		t.Fatalf("floor-triggered epochs never rescued data: %+v", pol.Stats())
+	}
+}

@@ -11,6 +11,13 @@
 // and scales the DDR-run phase times by the predicted memory-time
 // ratio. Stage 4 then only needs to run for placements the prediction
 // ranks as promising.
+//
+// Because every prediction goes through mem.Traffic.MemoryTime, the
+// replay and the online gate's EpochDelta are topology-priced for
+// free: traffic against a remote tier is charged the machine's NUMA
+// distance in both latency and bandwidth, so a placement that ships
+// the hot set across a socket hop predicts slower even when the remote
+// tier's raw bandwidth is higher.
 package predict
 
 import (

@@ -37,7 +37,14 @@ func goldenStrategies() []struct {
 // with a fixed seed and returns the serialized two-tier report.
 func goldenReport(t *testing.T, w *hm.Workload, strat hm.Strategy) []byte {
 	t.Helper()
-	m := hm.MachineFor(w)
+	return goldenReportOn(t, w, hm.MachineFor(w), strat)
+}
+
+// goldenReportOn is goldenReport against an explicit machine — the
+// seam the uniform-topology invariance test swaps a re-declared
+// machine through.
+func goldenReportOn(t *testing.T, w *hm.Workload, m hm.Machine, strat hm.Strategy) []byte {
+	t.Helper()
 	tr, _, err := hm.Profile(w, hm.ProfileConfig{
 		Machine: m, Seed: 11, RefScale: 0.25,
 	})
