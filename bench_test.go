@@ -176,6 +176,91 @@ func BenchmarkFigure5Folding(b *testing.B) {
 	b.ReportMetric(dipPct, "dip-%of-peak")
 }
 
+// fig4SweepPoints builds the Figure 4 grid for one application: every
+// baseline plus the full budget×strategy pipeline plane — the workload
+// the sweep engine exists for.
+func fig4SweepPoints(w *Workload) []SweepPoint {
+	m := MachineFor(w)
+	cfg := ExecuteConfig{Machine: m, Seed: 21}
+	pts := []SweepPoint{
+		BaselinePoint("ddr", w, BaselineDDR, cfg),
+		BaselinePoint("numactl", w, BaselineNumactl, cfg),
+		BaselinePoint("autohbw", w, BaselineAutoHBW, cfg),
+		BaselinePoint("cache", w, BaselineCacheMode, cfg),
+	}
+	strategies := []struct {
+		name string
+		s    Strategy
+	}{
+		{"density", StrategyDensity},
+		{"misses0", StrategyMisses(0)},
+		{"misses1", StrategyMisses(1)},
+		{"misses5", StrategyMisses(5)},
+	}
+	for _, budget := range BudgetsFor(w) {
+		for _, st := range strategies {
+			pts = append(pts, PipelinePoint(st.name, w, PipelineConfig{
+				Machine: m, Seed: 21, Budget: budget, Strategy: st.s,
+			}))
+		}
+	}
+	return pts
+}
+
+// BenchmarkSweepFigure4 runs one application's full Figure 4 grid
+// through the sweep engine: the profile is computed once, the 16
+// advise+execute cells and 4 baselines fan out across the worker pool.
+// Compare against BenchmarkSweepFigure4Serial — the naive loop that
+// re-profiles per cell — for the speedup the sweep engine buys; the
+// FOM metric pins that both produce the same physics.
+func BenchmarkSweepFigure4(b *testing.B) {
+	w, err := WorkloadByName("minife")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fom float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunSweep(fig4SweepPoints(w), SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fom = res[len(res)-1].Run.FOM
+	}
+	b.ReportMetric(fom, "FOM")
+}
+
+// BenchmarkSweepFigure4Serial is the pre-sweep reference: the same
+// grid as BenchmarkSweepFigure4 executed the way cmd/experiments used
+// to — serially, re-running Profile+Analyze for every pipeline cell.
+func BenchmarkSweepFigure4Serial(b *testing.B) {
+	w, err := WorkloadByName("minife")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fom float64
+	for i := 0; i < b.N; i++ {
+		for _, p := range fig4SweepPoints(w) {
+			var res *RunResult
+			var err error
+			switch {
+			case p.Pipeline != nil:
+				var pr *PipelineResult
+				pr, err = Pipeline(p.Workload, *p.Pipeline)
+				if pr != nil {
+					res = pr.Run
+				}
+			case p.Baseline != nil:
+				res, err = RunBaseline(p.Workload, p.Baseline.Baseline, p.Baseline.Config)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			fom = res.FOM
+		}
+	}
+	b.ReportMetric(fom, "FOM")
+}
+
 // --- Ablations ---
 
 // BenchmarkAblationKnapsackExactVsGreedy demonstrates why hmem_advisor

@@ -15,18 +15,36 @@
 //	                        on a dual-socket node, plus the bandwidth-
 //	                        contention migration gate
 //	experiments -all        everything, in paper order
+//	experiments -bench-json FILE
+//	                        run the Figure 4 sweep grid through the
+//	                        sweep engine and write per-point wall-clock
+//	                        and refs/sec to FILE (the BENCH_sweep.json
+//	                        perf trajectory)
 //
 // Use -app to restrict Figure 4 and the -online table to one
 // application and -scale to shrink the simulated access volume for
 // quick runs.
+//
+// The sweep-shaped modes (-fig 4, -online, -ntier, -numa) fan their
+// grids through the hm.RunSweep engine: the Profile/Analyze prefix is
+// computed once per distinct profiling configuration and the
+// advise+execute cells run across a GOMAXPROCS-wide worker pool
+// (-workers overrides), with results identical to the old serial
+// loops. -cpuprofile/-memprofile capture pprof profiles of whatever
+// modes run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"text/tabwriter"
+	"time"
 
 	hm "repro"
 	"repro/internal/callstack"
@@ -34,6 +52,17 @@ import (
 	"repro/internal/predict"
 	"repro/internal/units"
 )
+
+// workers is the sweep worker-pool bound (0 = GOMAXPROCS).
+var workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+
+// runSweep is the tool's one gateway to the sweep engine, so every
+// mode honours -workers.
+func runSweep(points []hm.SweepPoint) []hm.SweepResult {
+	res, err := hm.RunSweep(points, hm.SweepOptions{Workers: *workers})
+	check(err)
+	return res
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 3, 4, 5)")
@@ -44,6 +73,9 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	app := flag.String("app", "", "restrict -fig 4 and -online to one application")
 	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
+	benchJSON := flag.String("bench-json", "", "write the sweep benchmark trajectory to this file (e.g. BENCH_sweep.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
 	if *app != "" {
@@ -51,7 +83,14 @@ func main() {
 		check(err)
 	}
 
+	startProfiles(*cpuProfile, *memProfile)
+	defer flushProfiles()
+
 	any := false
+	if *benchJSON != "" {
+		benchSweep(*benchJSON, *app, *scale)
+		any = true
+	}
 	if *all || *fig == 1 {
 		figure1()
 		any = true
@@ -85,9 +124,58 @@ func main() {
 		any = true
 	}
 	if !any {
+		flushProfiles()
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// profileFlush finalizes -cpuprofile/-memprofile exactly once. Every
+// exit path must go through flushProfiles — os.Exit skips defers, so
+// check() and the usage path call it explicitly — or the pprof files
+// would be left empty/missing.
+var profileFlush func()
+var profileFlushOnce sync.Once
+
+func startProfiles(cpuPath, memPath string) {
+	var cpuStop func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		check(err)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			check(err)
+		}
+		cpuStop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	profileFlush = func() {
+		if cpuStop != nil {
+			cpuStop()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
+	}
+}
+
+func flushProfiles() {
+	profileFlushOnce.Do(func() {
+		if profileFlush != nil {
+			profileFlush()
+		}
+	})
 }
 
 func header(title string) {
@@ -182,32 +270,20 @@ func figure4(only string, scale float64) {
 	}
 }
 
-func figure4App(w *hm.Workload, scale float64) {
-	header(fmt.Sprintf("Figure 4: %s (%s)", w.Name, w.FOMUnit))
+// fig4Grid builds one application's Figure 4 sweep: the four baseline
+// placements followed by the budget×strategy pipeline plane. Every
+// pipeline cell shares one memoized profile (same workload, machine,
+// seed and scale), so the grid costs one profiling run plus the
+// advise+execute fan-out.
+func fig4Grid(w *hm.Workload, scale float64) ([]hm.SweepPoint, []int64) {
 	m := hm.MachineFor(w)
-	cfg := hm.ExecuteConfig{Machine: m, Seed: 21}
-
-	ddr, err := hm.RunBaseline(w, hm.BaselineDDR, scaled(cfg, scale))
-	check(err)
-	numactl, err := hm.RunBaseline(w, hm.BaselineNumactl, scaled(cfg, scale))
-	check(err)
-	autohbw, err := hm.RunBaseline(w, hm.BaselineAutoHBW, scaled(cfg, scale))
-	check(err)
-	cache, err := hm.RunBaseline(w, hm.BaselineCacheMode, scaled(cfg, scale))
-	check(err)
-
-	var rows []fig4Row
-	mcTotal := int64(16 * units.GB)
-	if w.Ranks > 1 {
-		mcTotal /= int64(w.Ranks)
+	cfg := scaled(hm.ExecuteConfig{Machine: m, Seed: 21}, scale)
+	pts := []hm.SweepPoint{
+		hm.BaselinePoint("DDR", w, hm.BaselineDDR, cfg),
+		hm.BaselinePoint("MCDRAM*(numactl)", w, hm.BaselineNumactl, cfg),
+		hm.BaselinePoint("autohbw/1m", w, hm.BaselineAutoHBW, cfg),
+		hm.BaselinePoint("cache", w, hm.BaselineCacheMode, cfg),
 	}
-	rows = append(rows,
-		fig4Row{"DDR", ddr.FOM, 0, 0},
-		fig4Row{"MCDRAM*(numactl)", numactl.FOM, numactl.HBWHWM, hm.DeltaFOMPerMB(numactl.FOM, ddr.FOM, mcTotal)},
-		fig4Row{"autohbw/1m", autohbw.FOM, autohbw.HBWHWM, 0},
-		fig4Row{"cache", cache.FOM, 0, hm.DeltaFOMPerMB(cache.FOM, ddr.FOM, mcTotal)},
-	)
-
 	strategies := []struct {
 		name string
 		s    hm.Strategy
@@ -217,19 +293,43 @@ func figure4App(w *hm.Workload, scale float64) {
 		{"misses(1%)", hm.StrategyMisses(1)},
 		{"misses(5%)", hm.StrategyMisses(5)},
 	}
+	var budgets []int64
 	for _, budget := range hm.BudgetsFor(w) {
 		for _, st := range strategies {
-			pr, err := hm.Pipeline(w, hm.PipelineConfig{
-				Machine: m, Seed: 21, Budget: budget, Strategy: st.s, RefScale: scale,
-			})
-			check(err)
-			rows = append(rows, fig4Row{
-				label: fmt.Sprintf("%s @%s", st.name, units.HumanBytes(budget)),
-				fom:   pr.Run.FOM,
-				hwm:   pr.Run.HBWHWM,
-				dfom:  hm.DeltaFOMPerMB(pr.Run.FOM, ddr.FOM, budget),
-			})
+			pts = append(pts, hm.PipelinePoint(
+				fmt.Sprintf("%s @%s", st.name, units.HumanBytes(budget)),
+				w, hm.PipelineConfig{
+					Machine: m, Seed: 21, Budget: budget, Strategy: st.s, RefScale: scale,
+				}))
+			budgets = append(budgets, budget)
 		}
+	}
+	return pts, budgets
+}
+
+func figure4App(w *hm.Workload, scale float64) {
+	header(fmt.Sprintf("Figure 4: %s (%s)", w.Name, w.FOMUnit))
+	pts, budgets := fig4Grid(w, scale)
+	res := runSweep(pts)
+	ddr := res[0].Run
+
+	mcTotal := int64(16 * units.GB)
+	if w.Ranks > 1 {
+		mcTotal /= int64(w.Ranks)
+	}
+	rows := []fig4Row{
+		{"DDR", ddr.FOM, 0, 0},
+		{"MCDRAM*(numactl)", res[1].Run.FOM, res[1].Run.HBWHWM, hm.DeltaFOMPerMB(res[1].Run.FOM, ddr.FOM, mcTotal)},
+		{"autohbw/1m", res[2].Run.FOM, res[2].Run.HBWHWM, 0},
+		{"cache", res[3].Run.FOM, 0, hm.DeltaFOMPerMB(res[3].Run.FOM, ddr.FOM, mcTotal)},
+	}
+	for i, r := range res[4:] {
+		rows = append(rows, fig4Row{
+			label: r.Label,
+			fom:   r.Run.FOM,
+			hwm:   r.Run.HBWHWM,
+			dfom:  hm.DeltaFOMPerMB(r.Run.FOM, ddr.FOM, budgets[i]),
+		})
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -266,6 +366,13 @@ func onlineTable(only string, scale float64) {
 	for _, w := range hm.Workloads() {
 		names = append(names, w.Name)
 	}
+	// One sweep over every application's four runs: all cells fan out
+	// together across the pool, four cells per printed row.
+	var pts []hm.SweepPoint
+	var rows []struct {
+		name   string
+		budget int64
+	}
 	for _, name := range names {
 		if only != "" && name != only {
 			continue
@@ -279,23 +386,29 @@ func onlineTable(only string, scale float64) {
 			budget = budgets[len(budgets)-1]
 		}
 		cfg := hm.ExecuteConfig{Machine: m, Seed: 21, RefScale: scale}
-		ddr, err := hm.RunBaseline(w, hm.BaselineDDR, cfg)
-		check(err)
-		cache, err := hm.RunBaseline(w, hm.BaselineCacheMode, cfg)
-		check(err)
-		pr, err := hm.Pipeline(w, hm.PipelineConfig{
-			Machine: m, Seed: 21, Budget: budget,
-			Strategy: hm.StrategyMisses(0), RefScale: scale,
-		})
-		check(err)
-		onl, err := hm.RunOnline(w, hm.OnlineConfig{
-			Machine: m, Seed: 21, RefScale: scale, Budget: budget,
-		})
-		check(err)
+		pts = append(pts,
+			hm.BaselinePoint(name+"/ddr", w, hm.BaselineDDR, cfg),
+			hm.BaselinePoint(name+"/cache", w, hm.BaselineCacheMode, cfg),
+			hm.PipelinePoint(name+"/static", w, hm.PipelineConfig{
+				Machine: m, Seed: 21, Budget: budget,
+				Strategy: hm.StrategyMisses(0), RefScale: scale,
+			}),
+			hm.OnlinePoint(name+"/online", w, hm.OnlineConfig{
+				Machine: m, Seed: 21, RefScale: scale, Budget: budget,
+			}),
+		)
+		rows = append(rows, struct {
+			name   string
+			budget int64
+		}{name, budget})
+	}
+	res := runSweep(pts)
+	for i, row := range rows {
+		ddr, cache, static, onl := res[4*i].Run, res[4*i+1].Run, res[4*i+2].Run, res[4*i+3].Run
 		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%d\t%d\t%+.1f%%\n",
-			name, units.HumanBytes(budget), ddr.FOM, pr.Run.FOM, onl.FOM, cache.FOM,
+			row.name, units.HumanBytes(row.budget), ddr.FOM, static.FOM, onl.FOM, cache.FOM,
 			onl.Epochs, onl.MigratedBytes/units.MB,
-			hm.ImprovementPct(onl.FOM, pr.Run.FOM))
+			hm.ImprovementPct(onl.FOM, static.FOM))
 	}
 	tw.Flush()
 }
@@ -311,38 +424,37 @@ func ntierTable(scale float64) {
 	m := hm.PerRankMachine(hm.KNLOptane(), w.Ranks, w.Threads)
 	cfg := hm.ExecuteConfig{Machine: m, Seed: 42, RefScale: scale}
 
-	ddr, err := hm.RunBaseline(w, hm.BaselineDDR, cfg)
-	check(err)
+	// One grid: the oblivious baseline, the budget sweep (every
+	// two-tier and waterfall cell shares ONE memoized profile — same
+	// workload, machine and seed) and the online run.
+	pts := []hm.SweepPoint{hm.BaselinePoint("ddr (oblivious)", w, hm.BaselineDDR, cfg)}
+	for _, budget := range []int64{64 * units.MB, 128 * units.MB, 256 * units.MB} {
+		mc := hm.MemoryConfigFor(m, budget)
+		pts = append(pts,
+			hm.PipelinePoint(fmt.Sprintf("two-tier @%s", units.HumanBytes(budget)), w, hm.PipelineConfig{
+				Machine: m, Seed: 42, Budget: budget, RefScale: scale,
+			}),
+			hm.PipelinePoint(fmt.Sprintf("waterfall @%s", units.HumanBytes(budget)), w, hm.PipelineConfig{
+				Machine: m, Seed: 42, Memory: &mc, RefScale: scale,
+			}),
+		)
+	}
+	pts = append(pts, hm.OnlinePoint("online @256 MB", w, hm.OnlineConfig{
+		Machine: m, Seed: 42, RefScale: scale, Budget: 256 * units.MB,
+	}))
+	res := runSweep(pts)
+	ddr := res[0].Run
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "config\t%s\tMCDRAM MB\tNVM MB\tvs DDR%%\n", w.FOMUnit)
-	row := func(label string, res *hm.RunResult) {
+	for _, r := range res {
 		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%d\t%+.1f%%\n",
-			label, res.FOM,
-			res.TierHWMs[hm.TierMCDRAM]/units.MB,
-			res.TierHWMs[hm.TierNVM]/units.MB,
-			hm.ImprovementPct(res.FOM, ddr.FOM))
+			r.Label, r.Run.FOM,
+			r.Run.TierHWMs[hm.TierMCDRAM]/units.MB,
+			r.Run.TierHWMs[hm.TierNVM]/units.MB,
+			hm.ImprovementPct(r.Run.FOM, ddr.FOM))
 	}
-	row("ddr (oblivious)", ddr)
-	for _, budget := range []int64{64 * units.MB, 128 * units.MB, 256 * units.MB} {
-		two, err := hm.Pipeline(w, hm.PipelineConfig{
-			Machine: m, Seed: 42, Budget: budget, RefScale: scale,
-		})
-		check(err)
-		row(fmt.Sprintf("two-tier @%s", units.HumanBytes(budget)), two.Run)
-
-		mc := hm.MemoryConfigFor(m, budget)
-		ntier, err := hm.Pipeline(w, hm.PipelineConfig{
-			Machine: m, Seed: 42, Memory: &mc, RefScale: scale,
-		})
-		check(err)
-		row(fmt.Sprintf("waterfall @%s", units.HumanBytes(budget)), ntier.Run)
-	}
-	onl, err := hm.RunOnline(w, hm.OnlineConfig{
-		Machine: m, Seed: 42, RefScale: scale, Budget: 256 * units.MB,
-	})
-	check(err)
-	row("online @256 MB", onl)
+	onl := res[len(res)-1].Run
 	fmt.Fprintf(tw, "online epochs/migrated MB\t%d\t%d\t\t\n", onl.Epochs, onl.MigratedBytes/units.MB)
 	tw.Flush()
 
@@ -356,8 +468,10 @@ func ntierTable(scale float64) {
 // NVM floor.
 func ddrSizingSweep(w *hm.Workload, m hm.Machine, ddr *hm.RunResult, scale float64) {
 	header("DDR sizing sweep: waterfall @256 MB MCDRAM, shrinking DDR (ntierdemo)")
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "DDR size\t%s\tDDR HWM MB\tNVM MB\tvs full-DDR run%%\n", w.FOMUnit)
+	// Every cell profiles on a DIFFERENT machine (the shrunk DDR
+	// changes the profiling run itself), so nothing memoizes — but the
+	// five pipelines still fan out across the pool.
+	var pts []hm.SweepPoint
 	for _, ddrCap := range []int64{1536 * units.MB, 1024 * units.MB, 768 * units.MB, 512 * units.MB, 256 * units.MB} {
 		shrunk := m
 		shrunk.Tiers = append([]hm.TierSpec{}, m.Tiers...)
@@ -367,15 +481,19 @@ func ddrSizingSweep(w *hm.Workload, m hm.Machine, ddr *hm.RunResult, scale float
 			}
 		}
 		mc := hm.MemoryConfigFor(shrunk, 256*units.MB)
-		pr, err := hm.Pipeline(w, hm.PipelineConfig{
+		pts = append(pts, hm.PipelinePoint(units.HumanBytes(ddrCap), w, hm.PipelineConfig{
 			Machine: shrunk, Seed: 42, Memory: &mc, RefScale: scale,
-		})
-		check(err)
+		}))
+	}
+	res := runSweep(pts)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "DDR size\t%s\tDDR HWM MB\tNVM MB\tvs full-DDR run%%\n", w.FOMUnit)
+	for _, r := range res {
 		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%d\t%+.1f%%\n",
-			units.HumanBytes(ddrCap), pr.Run.FOM,
-			pr.Run.TierHWMs[hm.TierDDR]/units.MB,
-			pr.Run.TierHWMs[hm.TierNVM]/units.MB,
-			hm.ImprovementPct(pr.Run.FOM, ddr.FOM))
+			r.Label, r.Run.FOM,
+			r.Run.TierHWMs[hm.TierDDR]/units.MB,
+			r.Run.TierHWMs[hm.TierNVM]/units.MB,
+			hm.ImprovementPct(r.Run.FOM, ddr.FOM))
 	}
 	tw.Flush()
 	fmt.Println("reading: the waterfall holds its gain while DDR still fits the warm set; once warm data spills to NVM the advantage collapses toward the oblivious run")
@@ -405,35 +523,32 @@ func numaTable(scale float64) {
 			t.RelativePerf, m.TierDistance(t), m.EffectivePerf(t))
 	}
 
-	ddr, err := hm.RunBaseline(w, hm.BaselineDDR, hm.ExecuteConfig{Machine: m, Seed: 42, RefScale: scale})
-	check(err)
-
-	aware := hm.MemoryConfigFor(m, 0)
-	awareRun, err := hm.Pipeline(w, hm.PipelineConfig{Machine: m, Seed: 42, Memory: &aware, RefScale: scale})
-	check(err)
-
 	// The blind configuration is the same tier set with the distance
 	// stripped: the waterfall falls back to raw RelativePerf order.
+	// Aware and blind differ only in the ADVISE stage, so both cells
+	// share one memoized profile.
+	aware := hm.MemoryConfigFor(m, 0)
 	blind := aware
 	blind.Tiers = append([]hm.TierConfig{}, aware.Tiers...)
 	for i := range blind.Tiers {
 		blind.Tiers[i].Distance = 0
 	}
-	blindRun, err := hm.Pipeline(w, hm.PipelineConfig{Machine: m, Seed: 42, Memory: &blind, RefScale: scale})
-	check(err)
+	res := runSweep([]hm.SweepPoint{
+		hm.BaselinePoint("ddr (oblivious)", w, hm.BaselineDDR, hm.ExecuteConfig{Machine: m, Seed: 42, RefScale: scale}),
+		hm.PipelinePoint("topology-blind (hot -> remote HBM)", w, hm.PipelineConfig{Machine: m, Seed: 42, Memory: &blind, RefScale: scale}),
+		hm.PipelinePoint("topology-aware (hot stays near)", w, hm.PipelineConfig{Machine: m, Seed: 42, Memory: &aware, RefScale: scale}),
+	})
+	ddr := res[0].Run
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "advisor\t%s\tHBM MB\tNVM MB\tvs DDR%%\n", w.FOMUnit)
-	row := func(label string, res *hm.RunResult) {
+	for _, r := range res {
 		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%d\t%+.1f%%\n",
-			label, res.FOM,
-			res.TierHWMs[hm.TierHBM]/units.MB,
-			res.TierHWMs[hm.TierNVM]/units.MB,
-			hm.ImprovementPct(res.FOM, ddr.FOM))
+			r.Label, r.Run.FOM,
+			r.Run.TierHWMs[hm.TierHBM]/units.MB,
+			r.Run.TierHWMs[hm.TierNVM]/units.MB,
+			hm.ImprovementPct(r.Run.FOM, ddr.FOM))
 	}
-	row("ddr (oblivious)", ddr)
-	row("topology-blind (hot -> remote HBM)", blindRun.Run)
-	row("topology-aware (hot stays near)", awareRun.Run)
 	tw.Flush()
 
 	contentionGateDemo(scale)
@@ -474,10 +589,11 @@ func contentionGateDemo(scale float64) {
 		busy, gain/float64(busy))
 
 	// End to end: the same online run, plain vs shared controllers.
-	plain, err := hm.RunOnline(w, hm.OnlineConfig{Machine: plainM, Seed: 21, RefScale: scale, Budget: 16 * units.MB})
-	check(err)
-	shared, err := hm.RunOnline(w, hm.OnlineConfig{Machine: sharedM, Seed: 21, RefScale: scale, Budget: 16 * units.MB})
-	check(err)
+	endToEnd := runSweep([]hm.SweepPoint{
+		hm.OnlinePoint("plain", w, hm.OnlineConfig{Machine: plainM, Seed: 21, RefScale: scale, Budget: 16 * units.MB}),
+		hm.OnlinePoint("shared", w, hm.OnlineConfig{Machine: sharedM, Seed: 21, RefScale: scale, Budget: 16 * units.MB}),
+	})
+	plain, shared := endToEnd[0].Run, endToEnd[1].Run
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "\ncontrollers\t%s\tepochs\tmigrations\tmigrated MB\n", w.FOMUnit)
 	fmt.Fprintf(tw, "dedicated (idle pricing)\t%.3f\t%d\t%d\t%d\n",
@@ -532,8 +648,93 @@ func profileUnderFramework(w *hm.Workload, m hm.Machine, rep *hm.PlacementReport
 	}, rep)
 }
 
+// benchPoint is one BENCH_sweep.json row: a sweep cell's wall-clock
+// and simulated-reference throughput.
+type benchPoint struct {
+	Label         string  `json:"label"`
+	WallNS        int64   `json:"wall_ns"`
+	ProfileWallNS int64   `json:"profile_wall_ns,omitempty"`
+	Refs          int64   `json:"refs"`
+	RefsPerSec    float64 `json:"refs_per_sec"`
+	FOM           float64 `json:"fom"`
+}
+
+// benchDoc is the BENCH_sweep.json schema: the perf trajectory CI
+// accumulates per commit, so sweep-engine regressions show up as
+// wall-clock growth against history.
+type benchDoc struct {
+	Schema          int          `json:"schema"`
+	App             string       `json:"app"`
+	Scale           float64      `json:"scale"`
+	Workers         int          `json:"workers"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	PointCount      int          `json:"point_count"`
+	ProfileCount    int          `json:"profile_count"`
+	TotalWallNS     int64        `json:"total_wall_ns"`
+	TotalRefs       int64        `json:"total_refs"`
+	SweepRefsPerSec float64      `json:"sweep_refs_per_sec"`
+	Points          []benchPoint `json:"points"`
+}
+
+// benchSweep runs the Figure 4 grid through the sweep engine and
+// writes per-point wall-clock and refs/sec to path. The default
+// subject is minife (a framework-wins workload with the standard
+// 4-budget × 4-strategy plane); -app overrides.
+func benchSweep(path, only string, scale float64) {
+	app := only
+	if app == "" {
+		app = "minife"
+	}
+	header(fmt.Sprintf("Sweep benchmark: %s -> %s", app, path))
+	w, err := hm.WorkloadByName(app)
+	check(err)
+	pts, _ := fig4Grid(w, scale)
+	start := time.Now()
+	res := runSweep(pts)
+	total := time.Since(start)
+
+	doc := benchDoc{
+		Schema:      1,
+		App:         app,
+		Scale:       scale,
+		Workers:     *workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		PointCount:  len(res),
+		TotalWallNS: total.Nanoseconds(),
+	}
+	profiles := make(map[*hm.Trace]bool)
+	for _, r := range res {
+		bp := benchPoint{
+			Label:  r.Label,
+			WallNS: r.Wall.Nanoseconds(),
+			Refs:   r.Refs,
+			FOM:    r.Run.FOM,
+		}
+		if secs := r.Wall.Seconds(); secs > 0 {
+			bp.RefsPerSec = float64(r.Refs) / secs
+		}
+		if r.Pipeline != nil {
+			bp.ProfileWallNS = r.ProfileWall.Nanoseconds()
+			profiles[r.Pipeline.Trace] = true
+		}
+		doc.TotalRefs += r.Refs
+		doc.Points = append(doc.Points, bp)
+	}
+	doc.ProfileCount = len(profiles)
+	if secs := total.Seconds(); secs > 0 {
+		doc.SweepRefsPerSec = float64(doc.TotalRefs) / secs
+	}
+
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	check(err)
+	check(os.WriteFile(path, append(buf, '\n'), 0o644))
+	fmt.Printf("%d points (%d memoized profiles) in %v — %.0f simulated refs/s; wrote %s\n",
+		doc.PointCount, doc.ProfileCount, total.Round(time.Millisecond), doc.SweepRefsPerSec, path)
+}
+
 func check(err error) {
 	if err != nil {
+		flushProfiles()
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -679,18 +679,19 @@ type PipelineResult struct {
 
 // Pipeline executes the complete framework: profile on DDR, analyze,
 // advise for the budget, and re-run under auto-hbwmalloc.
+//
+// When several pipeline runs share a workload and machine and differ
+// only in budget or strategy — the shape of every sweep in the
+// evaluation — use RunSweep instead: it computes the Profile/Analyze
+// prefix once per distinct profiling configuration and fans the
+// advise+execute cells across a worker pool, with results identical to
+// calling Pipeline in a loop.
 func Pipeline(w *Workload, cfg PipelineConfig) (*PipelineResult, error) {
-	if cfg.Strategy == nil {
-		cfg.Strategy = StrategyMisses(0)
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Budget <= 0 && cfg.Memory == nil {
-		return nil, fmt.Errorf("hybridmem: Pipeline needs a positive Budget or a Memory hierarchy")
-	}
-	tr, profRun, err := Profile(w, ProfileConfig{
-		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
-		SamplePeriod: cfg.SamplePeriod, MinAllocSize: cfg.MinAllocSize,
-		RefScale: cfg.RefScale,
-	})
+	tr, profRun, err := Profile(w, cfg.profileConfig())
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: profile stage: %w", err)
 	}
@@ -698,7 +699,39 @@ func Pipeline(w *Workload, cfg PipelineConfig) (*PipelineResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: analyze stage: %w", err)
 	}
+	return adviseAndExecute(w, cfg, tr, profRun, prof)
+}
+
+func (cfg PipelineConfig) withDefaults() PipelineConfig {
+	if cfg.Strategy == nil {
+		cfg.Strategy = StrategyMisses(0)
+	}
+	return cfg
+}
+
+func (cfg *PipelineConfig) validate() error {
+	if cfg.Budget <= 0 && cfg.Memory == nil {
+		return fmt.Errorf("hybridmem: Pipeline needs a positive Budget or a Memory hierarchy")
+	}
+	return nil
+}
+
+// profileConfig is the Stage 1+2 slice of the pipeline configuration —
+// exactly the fields the sweep engine memoizes profiling artifacts by.
+func (cfg *PipelineConfig) profileConfig() ProfileConfig {
+	return ProfileConfig{
+		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
+		SamplePeriod: cfg.SamplePeriod, MinAllocSize: cfg.MinAllocSize,
+		RefScale: cfg.RefScale,
+	}
+}
+
+// adviseAndExecute is the Stage 3+4 tail of a pipeline run, shared by
+// Pipeline and the sweep engine so a memoized-profile sweep cannot
+// drift from the serial path.
+func adviseAndExecute(w *Workload, cfg PipelineConfig, tr *Trace, profRun *RunResult, prof *ObjectProfile) (*PipelineResult, error) {
 	var rep *PlacementReport
+	var err error
 	switch {
 	case cfg.Memory != nil && cfg.TimeAware:
 		rep, err = AdviseHierarchyTimeAware(prof, *cfg.Memory, cfg.Strategy)

@@ -63,11 +63,17 @@ func (h HeapSpec) perf() float64 {
 // pointer-ownership routing for free/realloc. Allocations and frees
 // must be matched against the kind that performed them — exactly the
 // bookkeeping obligation Section III attributes to auto-hbwmalloc.
+//
+// Kinds are dense indices, so the per-kind state lives in slices, and
+// the fallback chains — consulted on every interposed allocation — are
+// precomputed at construction: the malloc fast path performs no map
+// hashing and no allocation.
 type Memkind struct {
-	arenas map[Kind]*Arena
+	arenas []*Arena   // indexed by Kind
 	specs  []HeapSpec // indexed by Kind
 	order  []Kind     // heap-list order (default first)
 	byPerf []Kind     // all kinds, descending tier RelativePerf
+	chains [][]Kind   // indexed by Kind; see FallbackChain
 	space  *Space
 }
 
@@ -89,7 +95,7 @@ func NewMemkindHierarchy(space *Space, heaps []HeapSpec) (*Memkind, error) {
 		return nil, fmt.Errorf("alloc: memkind needs at least one heap")
 	}
 	mk := &Memkind{
-		arenas: make(map[Kind]*Arena, len(heaps)),
+		arenas: make([]*Arena, len(heaps)),
 		specs:  append([]HeapSpec(nil), heaps...),
 		space:  space,
 	}
@@ -118,6 +124,21 @@ func NewMemkindHierarchy(space *Space, heaps []HeapSpec) (*Memkind, error) {
 			mk.byPerf[j], mk.byPerf[j-1] = mk.byPerf[j-1], mk.byPerf[j]
 		}
 	}
+	// Precompute every kind's fallback chain once: the chains are
+	// consulted per interposed allocation, and rebuilding them there
+	// would put a slice allocation on the malloc fast path.
+	mk.chains = make([][]Kind, len(heaps))
+	for i := range heaps {
+		k := Kind(i)
+		perf := mk.specs[k].perf()
+		chain := []Kind{k}
+		for _, o := range mk.byPerf {
+			if o != k && mk.specs[o].perf() < perf {
+				chain = append(chain, o)
+			}
+		}
+		mk.chains[k] = chain
+	}
 	return mk, nil
 }
 
@@ -135,11 +156,10 @@ const DefaultHeapSize = 32 * units.GB
 
 // Malloc allocates size bytes from kind's heap.
 func (mk *Memkind) Malloc(kind Kind, size int64) (uint64, error) {
-	a, ok := mk.arenas[kind]
-	if !ok {
+	if int(kind) >= len(mk.arenas) {
 		return 0, fmt.Errorf("alloc: unknown kind %v", kind)
 	}
-	return a.Malloc(size)
+	return mk.arenas[kind].Malloc(size)
 }
 
 // MallocFallback allocates from kind's heap, walking down to each
@@ -169,19 +189,13 @@ func (mk *Memkind) MallocFallback(kind Kind, size int64) (uint64, Kind, error) {
 // effective (distance-derated) priorities the chain is the
 // distance-ordered spill of a NUMA node: a site bound to a near tier
 // falls to the nearest next-best heap, and a remote raw-fast heap
-// slots wherever its effective perf puts it.
+// slots wherever its effective perf puts it. The returned slice is the
+// precomputed chain shared by every caller — do not mutate it.
 func (mk *Memkind) FallbackChain(kind Kind) ([]Kind, error) {
-	if int(kind) >= len(mk.specs) {
+	if int(kind) >= len(mk.chains) {
 		return nil, fmt.Errorf("alloc: unknown kind %v", kind)
 	}
-	perf := mk.specs[kind].perf()
-	chain := []Kind{kind}
-	for _, k := range mk.byPerf {
-		if k != kind && mk.specs[k].perf() < perf {
-			chain = append(chain, k)
-		}
-	}
-	return chain, nil
+	return mk.chains[kind], nil
 }
 
 // Free releases addr, routing to whichever heap owns it.
@@ -268,5 +282,11 @@ func (mk *Memkind) KindForName(name string) (Kind, bool) {
 // FastestKind returns the kind backed by the highest-performance tier.
 func (mk *Memkind) FastestKind() Kind { return mk.byPerf[0] }
 
-// Arena exposes the arena behind kind (stats, invariants).
-func (mk *Memkind) Arena(kind Kind) *Arena { return mk.arenas[kind] }
+// Arena exposes the arena behind kind (stats, invariants), nil for
+// unknown kinds.
+func (mk *Memkind) Arena(kind Kind) *Arena {
+	if int(kind) >= len(mk.arenas) {
+		return nil
+	}
+	return mk.arenas[kind]
+}

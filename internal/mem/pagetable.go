@@ -16,11 +16,43 @@ import (
 // Two mapping layers exist: coarse ranges (whole heap/static/stack
 // segments, possibly gigabytes) and per-page overrides. Lookups check
 // pages first, then coarse ranges, then the default tier.
+//
+// The per-page layer is a two-level radix over page numbers rather
+// than a hash map: the top level is a slice indexed by the page's high
+// bits, each leaf a dense array of leafSize per-page entries (0 =
+// absent, otherwise TierID+1). TierOf is the single hottest lookup of
+// the simulator — every LLC miss resolves through it — and the radix
+// turns it into two array indexes with no hashing and no allocation.
+// The coarse layer keeps its sorted-range binary search but fronts it
+// with a last-hit cache: demand streams touch the same segment for
+// thousands of consecutive misses, so the common case is one bounds
+// check against the cached range.
 type PageTable struct {
 	def    TierID
-	pages  map[uint64]TierID
+	leaves []*pageLeaf
 	coarse []coarseRange // sorted by start, non-overlapping
+
+	// lastCoarse is the extent fast path: the index of the coarse range
+	// the previous lookup resolved to.
+	lastCoarse int
+
+	// entries counts live per-page overrides; placed breaks them out by
+	// tier (including overrides EQUAL to the default tier, which exist
+	// to shadow coarse ranges — see SetRange).
+	entries int64
+	placed  [256]int64
 }
+
+const (
+	leafBits = 12 // pages per leaf: 4096 pages = 16 MB of address space
+	leafSize = 1 << leafBits
+	leafMask = leafSize - 1
+)
+
+// pageLeaf holds one radix leaf of per-page overrides. Entries are
+// uint16 so every possible TierID (0..255) encodes as TierID+1 without
+// wrapping; 0 means "no override".
+type pageLeaf [leafSize]uint16
 
 type coarseRange struct {
 	start, end uint64 // [start, end)
@@ -29,7 +61,7 @@ type coarseRange struct {
 
 // NewPageTable returns a table whose unmapped pages live on def.
 func NewPageTable(def TierID) *PageTable {
-	return &PageTable{def: def, pages: make(map[uint64]TierID)}
+	return &PageTable{def: def}
 }
 
 // SetCoarseRange binds the whole [addr, addr+size) range to tier with a
@@ -56,10 +88,19 @@ func (pt *PageTable) SetCoarseRange(addr uint64, size int64, tier TierID) error 
 	return nil
 }
 
+// coarseTier resolves addr against the coarse ranges: the cached
+// last-hit range first, then a binary search for the first range whose
+// end exceeds addr.
 func (pt *PageTable) coarseTier(addr uint64) (TierID, bool) {
-	i := sort.Search(len(pt.coarse), func(i int) bool { return pt.coarse[i].end > addr })
-	if i < len(pt.coarse) && addr >= pt.coarse[i].start {
-		return pt.coarse[i].tier, true
+	if i := pt.lastCoarse; i < len(pt.coarse) {
+		if c := &pt.coarse[i]; addr >= c.start && addr < c.end {
+			return c.tier, true
+		}
+	}
+	lo := pt.coarseIndexFor(addr)
+	if lo < len(pt.coarse) && addr >= pt.coarse[lo].start {
+		pt.lastCoarse = lo
+		return pt.coarse[lo].tier, true
 	}
 	return 0, false
 }
@@ -68,6 +109,44 @@ func (pt *PageTable) coarseTier(addr uint64) (TierID, bool) {
 func (pt *PageTable) DefaultTier() TierID { return pt.def }
 
 func pageOf(addr uint64) uint64 { return addr / uint64(units.PageSize) }
+
+// setPage installs an explicit override for page p, growing the radix
+// as needed.
+func (pt *PageTable) setPage(p uint64, tier TierID) {
+	li := p >> leafBits
+	for uint64(len(pt.leaves)) <= li {
+		pt.leaves = append(pt.leaves, nil)
+	}
+	leaf := pt.leaves[li]
+	if leaf == nil {
+		leaf = new(pageLeaf)
+		pt.leaves[li] = leaf
+	}
+	if old := leaf[p&leafMask]; old != 0 {
+		pt.placed[TierID(old-1)]--
+	} else {
+		pt.entries++
+	}
+	leaf[p&leafMask] = uint16(tier) + 1
+	pt.placed[tier]++
+}
+
+// deletePage removes the explicit override for page p, if any.
+func (pt *PageTable) deletePage(p uint64) {
+	li := p >> leafBits
+	if li >= uint64(len(pt.leaves)) {
+		return
+	}
+	leaf := pt.leaves[li]
+	if leaf == nil {
+		return
+	}
+	if old := leaf[p&leafMask]; old != 0 {
+		pt.placed[TierID(old-1)]--
+		pt.entries--
+		leaf[p&leafMask] = 0
+	}
+}
 
 // SetRange places [addr, addr+size) on tier, page by page. Partial
 // pages are placed whole, as real page tables must. For gigabyte-scale
@@ -78,19 +157,53 @@ func (pt *PageTable) SetRange(addr uint64, size int64, tier TierID) {
 	}
 	first := pageOf(addr)
 	last := pageOf(addr + uint64(size) - 1)
+	if tier != pt.def {
+		for p := first; p <= last; p++ {
+			pt.setPage(p, tier)
+		}
+		return
+	}
+	// Returning pages to the default tier: a page covered by a coarse
+	// range must keep an explicit default-tier override (or the coarse
+	// tier would leak back through), while uncovered pages drop their
+	// entry entirely. The coarse check is hoisted out of the per-page
+	// loop: with no coarse ranges the loop is pure deletion, and with
+	// ranges the sorted, non-overlapping list is walked in lockstep
+	// with the ascending page numbers instead of binary-searching per
+	// page.
+	if len(pt.coarse) == 0 {
+		for p := first; p <= last; p++ {
+			pt.deletePage(p)
+		}
+		return
+	}
+	ci := pt.coarseIndexFor(first * uint64(units.PageSize))
 	for p := first; p <= last; p++ {
-		if tier == pt.def {
-			if _, coarse := pt.coarseTier(p * uint64(units.PageSize)); coarse {
-				// A page override back to default must shadow a coarse
-				// range, so it stays in the map.
-				pt.pages[p] = tier
-				continue
-			}
-			delete(pt.pages, p)
+		a := p * uint64(units.PageSize)
+		for ci < len(pt.coarse) && pt.coarse[ci].end <= a {
+			ci++
+		}
+		if ci < len(pt.coarse) && a >= pt.coarse[ci].start {
+			pt.setPage(p, tier)
 		} else {
-			pt.pages[p] = tier
+			pt.deletePage(p)
 		}
 	}
+}
+
+// coarseIndexFor returns the index of the first coarse range whose end
+// exceeds addr (possibly len(coarse)).
+func (pt *PageTable) coarseIndexFor(addr uint64) int {
+	lo, hi := 0, len(pt.coarse)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pt.coarse[mid].end > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // ClearRange resets [addr, addr+size) to the default tier.
@@ -100,8 +213,13 @@ func (pt *PageTable) ClearRange(addr uint64, size int64) {
 
 // TierOf returns the tier holding addr.
 func (pt *PageTable) TierOf(addr uint64) TierID {
-	if t, ok := pt.pages[pageOf(addr)]; ok {
-		return t
+	p := addr / uint64(units.PageSize)
+	if li := p >> leafBits; li < uint64(len(pt.leaves)) {
+		if leaf := pt.leaves[li]; leaf != nil {
+			if v := leaf[p&leafMask]; v != 0 {
+				return TierID(v - 1)
+			}
+		}
 	}
 	if t, ok := pt.coarseTier(addr); ok {
 		return t
@@ -113,16 +231,21 @@ func (pt *PageTable) TierOf(addr uint64) TierID {
 // are currently mapped. Useful to audit that placement honoured budget.
 func (pt *PageTable) PlacedBytes() map[TierID]int64 {
 	out := make(map[TierID]int64)
-	for _, t := range pt.pages {
-		out[t] += units.PageSize
+	for t, n := range pt.placed {
+		if n != 0 {
+			out[TierID(t)] = n * units.PageSize
+		}
 	}
 	return out
 }
 
 // Reset drops all explicit placements, coarse and fine.
 func (pt *PageTable) Reset() {
-	pt.pages = make(map[uint64]TierID)
+	pt.leaves = nil
 	pt.coarse = nil
+	pt.lastCoarse = 0
+	pt.entries = 0
+	pt.placed = [256]int64{}
 }
 
 // Extent describes a contiguous run of pages on one tier.
@@ -133,30 +256,36 @@ type Extent struct {
 }
 
 // Extents returns the explicitly placed regions as sorted, coalesced
-// extents — primarily a debugging and reporting aid.
+// extents — primarily a debugging and reporting aid. The radix is
+// scanned in page order, so runs fall out naturally: a new extent
+// starts wherever the tier changes or a gap appears.
 func (pt *PageTable) Extents() []Extent {
-	if len(pt.pages) == 0 {
+	if pt.entries == 0 {
 		return nil
 	}
-	pagesByTier := make(map[TierID][]uint64)
-	for p, t := range pt.pages {
-		pagesByTier[t] = append(pagesByTier[t], p)
-	}
 	var out []Extent
-	for t, ps := range pagesByTier {
-		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
-		start, n := ps[0], int64(1)
-		for _, p := range ps[1:] {
-			if p == start+uint64(n) {
-				n++
+	var run *Extent
+	for li, leaf := range pt.leaves {
+		if leaf == nil {
+			run = nil
+			continue
+		}
+		base := uint64(li) << leafBits
+		for i, v := range leaf {
+			if v == 0 {
+				run = nil
 				continue
 			}
-			out = append(out, Extent{Start: start * uint64(units.PageSize), Size: n * units.PageSize, Tier: t})
-			start, n = p, 1
+			p := base + uint64(i)
+			t := TierID(v - 1)
+			if run != nil && run.Tier == t && run.Start+uint64(run.Size) == p*uint64(units.PageSize) {
+				run.Size += units.PageSize
+				continue
+			}
+			out = append(out, Extent{Start: p * uint64(units.PageSize), Size: units.PageSize, Tier: t})
+			run = &out[len(out)-1]
 		}
-		out = append(out, Extent{Start: start * uint64(units.PageSize), Size: n * units.PageSize, Tier: t})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
 

@@ -8,14 +8,21 @@ import "repro/internal/units"
 // bandwidth component — the same first-order model that makes STREAM
 // saturate at a tier's peak bandwidth while latency-bound pointer
 // chases see the unloaded latency.
+//
+// The counters are dense arrays indexed directly by TierID (a uint8,
+// so the full ID space is 256 entries — 4 KB of counters). Add sits on
+// the innermost simulation loop, one call per LLC miss, so it must not
+// hash: the uint8 index compiles to a bare array access with no bounds
+// check and no allocation, and Reset zeroes the arrays in place rather
+// than reallocating them every phase drain.
 type Traffic struct {
-	bytes  map[TierID]int64
-	visits map[TierID]int64
+	bytes  [256]int64
+	visits [256]int64
 }
 
 // NewTraffic returns an empty accumulator.
 func NewTraffic() *Traffic {
-	return &Traffic{bytes: make(map[TierID]int64), visits: make(map[TierID]int64)}
+	return &Traffic{}
 }
 
 // Add records one memory-level access of n bytes against tier.
@@ -50,10 +57,10 @@ func (tr *Traffic) TotalBytes() int64 {
 	return s
 }
 
-// Reset clears the accumulator.
+// Reset clears the accumulator in place.
 func (tr *Traffic) Reset() {
-	tr.bytes = make(map[TierID]int64)
-	tr.visits = make(map[TierID]int64)
+	tr.bytes = [256]int64{}
+	tr.visits = [256]int64{}
 }
 
 // DefaultTierOverlap is the fraction of the non-dominant tiers' drain
@@ -68,10 +75,10 @@ const DefaultTierOverlap = 0.6
 // epoch-traffic snapshot the engine hands to topology-aware migration
 // pricing.
 func (tr *Traffic) BytesByTier() map[TierID]int64 {
-	out := make(map[TierID]int64, len(tr.bytes))
+	out := make(map[TierID]int64)
 	for t, b := range tr.bytes {
 		if b != 0 {
-			out[t] = b
+			out[TierID(t)] = b
 		}
 	}
 	return out

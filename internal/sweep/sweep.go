@@ -1,0 +1,136 @@
+// Package sweep is the deterministic parallel grid runner behind the
+// root package's Sweep facade. The paper's whole evaluation is
+// sweep-shaped — Figure 4 alone is an (application × budget ×
+// strategy) grid of full pipeline runs — and two structural facts make
+// those grids embarrassingly parallel AND heavily redundant:
+//
+//  1. Every simulated run is a pure function of its configuration
+//     (explicit seeds, no global state), so grid cells can execute on
+//     any goroutine in any order without changing a single byte of any
+//     result.
+//  2. The expensive Profile/Analyze prefix of a pipeline cell depends
+//     only on (workload, machine, cores, seed, sample period, min
+//     alloc size, ref scale) — not on the budget or strategy being
+//     swept — so an entire budget×strategy plane shares one profiling
+//     artifact.
+//
+// Grid encodes exactly those two facts: cells fan out across a bounded
+// worker pool, per-key setup artifacts are computed once and shared
+// via a promise table, and results return indexed by cell so ordering
+// is scheduling-independent. Everything domain-specific (what a
+// profile is, what a cell computes) stays with the caller.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Key identifies a shareable setup artifact. Cells with equal keys
+// share one setup computation; a unique key gives a cell private
+// setup. The empty key means "no setup": setup is skipped entirely and
+// the cell runs with the zero artifact.
+type Key string
+
+// promise is a once-computed setup artifact shared between cells.
+type promise[A any] struct {
+	once     sync.Once
+	artifact A
+	err      error
+}
+
+// Grid runs cells 0..n-1 across a bounded pool of workers goroutines
+// (workers <= 0 means GOMAXPROCS) and returns their results indexed by
+// cell.
+//
+// For each cell, keyOf names the setup artifact it needs; the first
+// cell to claim a key computes setup once and every other cell with
+// that key blocks on (and then shares) the same artifact. point then
+// computes the cell's result from the artifact. Both callbacks must be
+// pure with respect to the cell index — given that, the returned slice
+// is bit-identical to the serial loop
+//
+//	for i := range n { results[i] = point(i, setup(i)) }
+//
+// regardless of worker count or scheduling, which is what lets the
+// facade's determinism tests compare a parallel sweep against the
+// serial reference directly.
+//
+// A setup or point error fails its cell; Grid still runs the remaining
+// cells and returns the error of the LOWEST failed cell index (again
+// scheduling-independent) alongside the partial results.
+func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, error), point func(int, A) (R, error)) ([]R, error) {
+	results := make([]R, n)
+	if n == 0 {
+		return results, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var mu sync.Mutex
+	promises := make(map[Key]*promise[A])
+	claim := func(k Key) *promise[A] {
+		mu.Lock()
+		defer mu.Unlock()
+		p, ok := promises[k]
+		if !ok {
+			p = new(promise[A])
+			promises[k] = p
+		}
+		return p
+	}
+
+	errs := make([]error, n)
+	run := func(i int) {
+		var artifact A
+		if k := keyOf(i); k != "" {
+			p := claim(k)
+			p.once.Do(func() { p.artifact, p.err = setup(i) })
+			if p.err != nil {
+				errs[i] = p.err
+				return
+			}
+			artifact = p.artifact
+		}
+		r, err := point(i, artifact)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = r
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

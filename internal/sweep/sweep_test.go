@@ -1,0 +1,150 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGridMemoizesSetupPerKey checks that cells sharing a key share one
+// setup computation, across both the serial and the parallel pool.
+func TestGridMemoizesSetupPerKey(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			var setups atomic.Int64
+			n := 24
+			results, err := Grid(n, workers,
+				func(i int) Key { return Key(fmt.Sprintf("k%d", i%3)) },
+				func(i int) (int, error) {
+					setups.Add(1)
+					return (i % 3) * 100, nil
+				},
+				func(i int, a int) (int, error) { return a + i, nil },
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := setups.Load(); got != 3 {
+				t.Errorf("setup ran %d times, want 3", got)
+			}
+			for i, r := range results {
+				if want := (i%3)*100 + i; r != want {
+					t.Errorf("results[%d] = %d, want %d", i, r, want)
+				}
+			}
+		})
+	}
+}
+
+// TestGridParallelMatchesSerial is the scheduling-independence
+// property at the package level: identical results regardless of
+// worker count.
+func TestGridParallelMatchesSerial(t *testing.T) {
+	mk := func(workers int) []int {
+		res, err := Grid(50, workers,
+			func(i int) Key { return Key(fmt.Sprintf("g%d", i%7)) },
+			func(i int) (int, error) { return i % 7, nil },
+			func(i int, a int) (int, error) { return a*1000 + i*i, nil },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := mk(1)
+	for _, w := range []int{2, 3, 8} {
+		par := mk(w)
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("workers=%d: results[%d] = %d, serial %d", w, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestGridEmptyKeySkipsSetup checks the no-setup path used by
+// baseline/online cells.
+func TestGridEmptyKeySkipsSetup(t *testing.T) {
+	var setups atomic.Int64
+	results, err := Grid(5, 2,
+		func(i int) Key { return "" },
+		func(i int) (string, error) {
+			setups.Add(1)
+			return "boom", nil
+		},
+		func(i int, a string) (string, error) {
+			if a != "" {
+				return "", fmt.Errorf("got artifact %q for empty key", a)
+			}
+			return fmt.Sprintf("r%d", i), nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setups.Load() != 0 {
+		t.Errorf("setup ran %d times for empty keys, want 0", setups.Load())
+	}
+	if results[3] != "r3" {
+		t.Errorf("results[3] = %q", results[3])
+	}
+}
+
+// TestGridReportsLowestFailedCell checks deterministic error selection
+// and that healthy cells still complete.
+func TestGridReportsLowestFailedCell(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		results, err := Grid(10, workers,
+			func(i int) Key { return Key(fmt.Sprint(i)) },
+			func(i int) (int, error) { return i, nil },
+			func(i int, a int) (int, error) {
+				switch i {
+				case 3:
+					return 0, errLow
+				case 7:
+					return 0, errHigh
+				}
+				return a, nil
+			},
+		)
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want lowest-index error %v", workers, err, errLow)
+		}
+		if results[9] != 9 {
+			t.Errorf("workers=%d: healthy cell lost: results[9] = %d", workers, results[9])
+		}
+	}
+}
+
+// TestGridSetupErrorFailsAllSharers checks that a failed shared setup
+// fails every cell that claimed its key.
+func TestGridSetupErrorFailsAllSharers(t *testing.T) {
+	boom := errors.New("setup boom")
+	var points atomic.Int64
+	_, err := Grid(6, 3,
+		func(i int) Key {
+			if i%2 == 0 {
+				return "bad"
+			}
+			return "good"
+		},
+		func(i int) (int, error) {
+			if i%2 == 0 {
+				return 0, boom
+			}
+			return 1, nil
+		},
+		func(i int, a int) (int, error) {
+			points.Add(1)
+			return a, nil
+		},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := points.Load(); got != 3 {
+		t.Errorf("point ran %d times, want 3 (only the good-key cells)", got)
+	}
+}

@@ -1,0 +1,212 @@
+package hybridmem
+
+// The sweep engine: profile-once/advise-many over arbitrary
+// (workload × machine × budget × strategy) grids.
+//
+// The paper's evaluation is sweep-shaped — Figure 4 is an (application
+// × budget × strategy) grid of full pipeline runs, the N-tier and
+// topology studies sweep budgets and machine shapes — and a naive loop
+// re-profiles the workload at every grid cell even though the trace
+// depends only on the profiling configuration, not on what the advisor
+// later does with it. RunSweep splits every pipeline cell at exactly
+// that boundary: Profile+Analyze artifacts are memoized per profiling
+// key and the advise+execute tails (plus baseline and online cells,
+// which have no profile stage) fan out across a bounded worker pool.
+// Because every simulated run is a pure function of its configuration,
+// the results are bit-identical to the serial loop, regardless of
+// worker count — pinned by TestSweepMatchesSerialLoop.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// BaselineSpec names one baseline execution inside a sweep.
+type BaselineSpec struct {
+	Baseline Baseline
+	Config   ExecuteConfig
+}
+
+// SweepPoint is one cell of a sweep grid: a workload plus exactly one
+// way of running it — a full four-stage pipeline, a baseline
+// placement, or the online adaptive placer.
+type SweepPoint struct {
+	// Label tags the cell in results and BENCH_sweep.json rows.
+	Label    string
+	Workload *Workload
+
+	// Exactly one of the following must be set.
+	Pipeline *PipelineConfig
+	Baseline *BaselineSpec
+	Online   *OnlineConfig
+}
+
+// PipelinePoint builds a pipeline sweep cell.
+func PipelinePoint(label string, w *Workload, cfg PipelineConfig) SweepPoint {
+	return SweepPoint{Label: label, Workload: w, Pipeline: &cfg}
+}
+
+// BaselinePoint builds a baseline sweep cell.
+func BaselinePoint(label string, w *Workload, b Baseline, cfg ExecuteConfig) SweepPoint {
+	return SweepPoint{Label: label, Workload: w, Baseline: &BaselineSpec{Baseline: b, Config: cfg}}
+}
+
+// OnlinePoint builds an online-placer sweep cell.
+func OnlinePoint(label string, w *Workload, cfg OnlineConfig) SweepPoint {
+	return SweepPoint{Label: label, Workload: w, Online: &cfg}
+}
+
+// SweepResult is one cell's outcome.
+type SweepResult struct {
+	Label string
+	// Run is the cell's final execution result (Pipeline.Run for
+	// pipeline cells).
+	Run *RunResult
+	// Pipeline carries every stage artifact for pipeline cells; its
+	// Trace/ProfilingRun/Profile are SHARED with every cell that
+	// memoized the same profiling configuration.
+	Pipeline *PipelineResult
+	// Wall is the wall-clock time of this cell's own work: the
+	// advise+execute tail for pipeline cells, the whole run otherwise.
+	Wall time.Duration
+	// ProfileWall is the wall-clock cost of the memoized Profile+
+	// Analyze artifact this cell used (zero for baseline/online cells).
+	// Cells sharing a profile report the same value — sum it once per
+	// distinct profile, not per cell.
+	ProfileWall time.Duration
+	// Refs is the number of simulated memory references of the final
+	// run — the numerator of the refs/sec throughput BENCH_sweep.json
+	// tracks.
+	Refs int64
+}
+
+// SweepOptions tunes RunSweep.
+type SweepOptions struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS; 1 = serial).
+	Workers int
+}
+
+// profiled is the memoized Stage 1+2 artifact of a pipeline cell.
+type profiled struct {
+	trace *Trace
+	run   *RunResult
+	prof  *ObjectProfile
+	wall  time.Duration
+}
+
+// profileKey derives the memoization key of a pipeline cell: the
+// workload's identity plus every field the profiling stage reads. Two
+// cells with equal keys would run byte-identical profiling runs, so
+// they share one. The machine is fingerprinted by value — tier list,
+// topology matrix, mode, everything — because any of it changes the
+// trace.
+func profileKey(w *Workload, cfg *PipelineConfig) sweep.Key {
+	pc := cfg.profileConfig()
+	return sweep.Key(fmt.Sprintf("%p|%s|machine=%+v|cores=%d|seed=%d|period=%d|minalloc=%d|refscale=%g",
+		w, w.Name, pc.Machine, pc.Cores, pc.Seed, pc.SamplePeriod, pc.MinAllocSize, pc.RefScale))
+}
+
+// RunSweep executes every point of a sweep grid and returns the
+// results in point order. Pipeline cells sharing a profiling
+// configuration share one Profile+Analyze computation; all cells fan
+// out across the worker pool. Results are identical to running the
+// cells serially in order (Pipeline / RunBaseline / RunOnline per
+// cell); the first error — by cell index — fails the sweep.
+func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
+	// Validate and default eagerly so keys are derived from the final
+	// configurations.
+	cfgs := make([]SweepPoint, len(points))
+	for i, p := range points {
+		set := 0
+		for _, on := range []bool{p.Pipeline != nil, p.Baseline != nil, p.Online != nil} {
+			if on {
+				set++
+			}
+		}
+		if set != 1 {
+			return nil, fmt.Errorf("hybridmem: sweep point %d (%q) must set exactly one of Pipeline, Baseline, Online", i, p.Label)
+		}
+		if p.Workload == nil {
+			return nil, fmt.Errorf("hybridmem: sweep point %d (%q) has no workload", i, p.Label)
+		}
+		if p.Pipeline != nil {
+			cfg := p.Pipeline.withDefaults()
+			if err := cfg.validate(); err != nil {
+				return nil, fmt.Errorf("hybridmem: sweep point %d (%q): %w", i, p.Label, err)
+			}
+			p.Pipeline = &cfg
+		}
+		cfgs[i] = p
+	}
+
+	keyOf := func(i int) sweep.Key {
+		if cfgs[i].Pipeline == nil {
+			return "" // no shared setup stage
+		}
+		return profileKey(cfgs[i].Workload, cfgs[i].Pipeline)
+	}
+	setup := func(i int) (*profiled, error) {
+		p := cfgs[i]
+		start := time.Now()
+		// The artifact (and so any error) is shared by every cell with
+		// this profiling key; name the error after the key's content —
+		// identical for all sharers — rather than after whichever
+		// cell's goroutine happened to run the setup, so diagnostics
+		// stay scheduling-independent.
+		tr, profRun, err := Profile(p.Workload, p.Pipeline.profileConfig())
+		if err != nil {
+			return nil, fmt.Errorf("hybridmem: sweep %s (seed %d): profile stage: %w", p.Workload.Name, p.Pipeline.Seed, err)
+		}
+		prof, err := Analyze(tr)
+		if err != nil {
+			return nil, fmt.Errorf("hybridmem: sweep %s (seed %d): analyze stage: %w", p.Workload.Name, p.Pipeline.Seed, err)
+		}
+		return &profiled{trace: tr, run: profRun, prof: prof, wall: time.Since(start)}, nil
+	}
+	point := func(i int, art *profiled) (SweepResult, error) {
+		p := cfgs[i]
+		res := SweepResult{Label: p.Label}
+		start := time.Now()
+		switch {
+		case p.Pipeline != nil:
+			pr, err := adviseAndExecute(p.Workload, *p.Pipeline, art.trace, art.run, art.prof)
+			if err != nil {
+				return res, fmt.Errorf("hybridmem: sweep %q: %w", p.Label, err)
+			}
+			res.Pipeline = pr
+			res.Run = pr.Run
+			res.ProfileWall = art.wall
+		case p.Baseline != nil:
+			r, err := RunBaseline(p.Workload, p.Baseline.Baseline, p.Baseline.Config)
+			if err != nil {
+				return res, fmt.Errorf("hybridmem: sweep %q: %w", p.Label, err)
+			}
+			res.Run = r
+		default:
+			r, err := RunOnline(p.Workload, *p.Online)
+			if err != nil {
+				return res, fmt.Errorf("hybridmem: sweep %q: %w", p.Label, err)
+			}
+			res.Run = r
+		}
+		res.Wall = time.Since(start)
+		res.Refs = SimulatedRefs(res.Run)
+		return res, nil
+	}
+	return sweep.Grid(len(cfgs), opts.Workers, keyOf, setup, point)
+}
+
+// SimulatedRefs sums the memory references a run simulated — the
+// throughput numerator of the performance trajectory.
+func SimulatedRefs(r *RunResult) int64 {
+	if r == nil {
+		return 0
+	}
+	var s int64
+	for _, ps := range r.PhaseStats {
+		s += ps.Refs
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package hybridmem_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	hm "repro"
+	"repro/internal/units"
+)
+
+// sweepGrid builds the mixed grid the determinism tests run: baseline
+// cells, a budget×strategy pipeline plane (sharing one profile), a
+// second pipeline seed (forcing a second profile), and an online cell.
+func sweepGrid(w *hm.Workload, m hm.Machine) []hm.SweepPoint {
+	pts := []hm.SweepPoint{
+		hm.BaselinePoint("ddr", w, hm.BaselineDDR, hm.ExecuteConfig{Machine: m, Seed: 21, RefScale: 0.25}),
+		hm.BaselinePoint("cache", w, hm.BaselineCacheMode, hm.ExecuteConfig{Machine: m, Seed: 21, RefScale: 0.25}),
+	}
+	for _, budget := range []int64{32 * units.MB, 128 * units.MB} {
+		for _, st := range []struct {
+			name string
+			s    hm.Strategy
+		}{{"m0", hm.StrategyMisses(0)}, {"density", hm.StrategyDensity}} {
+			pts = append(pts, hm.PipelinePoint(st.name, w, hm.PipelineConfig{
+				Machine: m, Seed: 21, Budget: budget, Strategy: st.s, RefScale: 0.25,
+			}))
+		}
+	}
+	pts = append(pts,
+		hm.PipelinePoint("otherseed", w, hm.PipelineConfig{
+			Machine: m, Seed: 77, Budget: 128 * units.MB, RefScale: 0.25,
+		}),
+		hm.OnlinePoint("online", w, hm.OnlineConfig{
+			Machine: m, Seed: 21, RefScale: 0.25, Budget: 128 * units.MB,
+		}),
+	)
+	return pts
+}
+
+// TestSweepMatchesSerialLoop is the determinism acceptance test of the
+// sweep engine: a parallel RunSweep must return results identical to
+// executing every cell serially through the plain facade calls —
+// memoized profiles, worker scheduling and all.
+func TestSweepMatchesSerialLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("a full sweep grid is not -short")
+	}
+	w, err := hm.WorkloadByName("minife")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := hm.MachineFor(w)
+	pts := sweepGrid(w, m)
+
+	par, err := hm.RunSweep(pts, hm.SweepOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(pts) {
+		t.Fatalf("got %d results for %d points", len(par), len(pts))
+	}
+
+	for i, p := range pts {
+		var wantRun *hm.RunResult
+		var wantReport *hm.PlacementReport
+		switch {
+		case p.Pipeline != nil:
+			pr, err := hm.Pipeline(p.Workload, *p.Pipeline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRun, wantReport = pr.Run, pr.Report
+		case p.Baseline != nil:
+			wantRun, err = hm.RunBaseline(p.Workload, p.Baseline.Baseline, p.Baseline.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+		default:
+			wantRun, err = hm.RunOnline(p.Workload, *p.Online)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(par[i].Run, wantRun) {
+			t.Errorf("point %d (%s): parallel sweep result diverged from serial call:\nsweep:  %+v\nserial: %+v",
+				i, p.Label, par[i].Run, wantRun)
+		}
+		if wantReport != nil {
+			var a, b bytes.Buffer
+			if err := wantReport.Write(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := par[i].Pipeline.Report.Write(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("point %d (%s): advisor report diverged:\n--- serial ---\n%s\n--- sweep ---\n%s",
+					i, p.Label, a.String(), b.String())
+			}
+		}
+		if par[i].Refs != hm.SimulatedRefs(wantRun) {
+			t.Errorf("point %d (%s): refs = %d, want %d", i, p.Label, par[i].Refs, hm.SimulatedRefs(wantRun))
+		}
+	}
+}
+
+// TestSweepMemoizesProfiles checks profile-once/advise-many: every
+// pipeline cell with the same profiling configuration must share the
+// SAME trace and profile objects (pointer identity), while a different
+// seed gets its own.
+func TestSweepMemoizesProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep grid is not -short")
+	}
+	w, err := hm.WorkloadByName("minife")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := hm.MachineFor(w)
+	pts := sweepGrid(w, m)
+	res, err := hm.RunSweep(pts, hm.SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shared, other *hm.PipelineResult
+	for i, p := range pts {
+		if p.Pipeline == nil {
+			continue
+		}
+		if p.Label == "otherseed" {
+			other = res[i].Pipeline
+			continue
+		}
+		if shared == nil {
+			shared = res[i].Pipeline
+			continue
+		}
+		if res[i].Pipeline.Trace != shared.Trace || res[i].Pipeline.Profile != shared.Profile {
+			t.Errorf("point %d (%s): did not share the memoized profile artifact", i, p.Label)
+		}
+	}
+	if shared == nil || other == nil {
+		t.Fatal("grid did not contain the expected pipeline cells")
+	}
+	if other.Trace == shared.Trace {
+		t.Error("different profiling seed must not share a trace")
+	}
+}
+
+// TestSweepRejectsMalformedPoints pins the facade's validation.
+func TestSweepRejectsMalformedPoints(t *testing.T) {
+	w := hm.StreamWorkload()
+	m := hm.DefaultKNL()
+	cases := []hm.SweepPoint{
+		{Label: "nothing", Workload: w},
+		{Label: "both", Workload: w,
+			Pipeline: &hm.PipelineConfig{Machine: m, Budget: units.MB},
+			Online:   &hm.OnlineConfig{Machine: m}},
+		hm.PipelinePoint("noworkload", nil, hm.PipelineConfig{Machine: m, Budget: units.MB}),
+		hm.PipelinePoint("nobudget", w, hm.PipelineConfig{Machine: m}),
+	}
+	for _, p := range cases {
+		if _, err := hm.RunSweep([]hm.SweepPoint{p}, hm.SweepOptions{}); err == nil {
+			t.Errorf("point %q: RunSweep accepted a malformed point", p.Label)
+		}
+	}
+}
