@@ -56,6 +56,16 @@ import (
 // workers is the sweep worker-pool bound (0 = GOMAXPROCS).
 var workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 
+// strategyFlag overrides the pipeline packing strategy of the
+// sweep-shaped modes (hm.StrategyByName grammar); "exact" additionally
+// prints greedy-vs-exact optimality-gap tables (the exact solver is
+// the oracle the greedy strategies are measured against).
+var strategyFlag = flag.String("strategy", "",
+	"override the -fig 4 / -ntier packing strategy: density | misses[:pct] | exact | exact-dp")
+
+// stratOverride is the parsed -strategy value (nil = per-mode default).
+var stratOverride hm.Strategy
+
 // runSweep is the tool's one gateway to the sweep engine, so every
 // mode honours -workers.
 func runSweep(points []hm.SweepPoint) []hm.SweepResult {
@@ -81,6 +91,11 @@ func main() {
 	if *app != "" {
 		_, err := hm.WorkloadByName(*app)
 		check(err)
+	}
+	if *strategyFlag != "" {
+		s, err := hm.StrategyByName(*strategyFlag)
+		check(err)
+		stratOverride = s
 	}
 
 	startProfiles(*cpuProfile, *memProfile)
@@ -293,6 +308,13 @@ func fig4Grid(w *hm.Workload, scale float64) ([]hm.SweepPoint, []int64) {
 		{"misses(1%)", hm.StrategyMisses(1)},
 		{"misses(5%)", hm.StrategyMisses(5)},
 	}
+	if stratOverride != nil {
+		strategies = strategies[:0]
+		strategies = append(strategies, struct {
+			name string
+			s    hm.Strategy
+		}{stratOverride.Name(), stratOverride})
+	}
 	var budgets []int64
 	for _, budget := range hm.BudgetsFor(w) {
 		for _, st := range strategies {
@@ -337,6 +359,42 @@ func figure4App(w *hm.Workload, scale float64) {
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%.5f\t%+.1f%%\n",
 			r.label, r.fom, r.hwm/units.MB, r.dfom, hm.ImprovementPct(r.fom, ddr.FOM))
+	}
+	tw.Flush()
+
+	if stratOverride != nil && stratOverride.Name() == "exact" {
+		var cells []*hm.PipelineResult
+		for _, r := range res[4:] {
+			cells = append(cells, r.Pipeline)
+		}
+		gapTable("greedy-vs-exact objective gap (fraction of the exact knapsack optimum):",
+			budgets, cells, func(i int) hm.MemoryConfig { return hm.TwoTier(budgets[i]) })
+	}
+}
+
+// gapTable prints, per budget, each greedy strategy's placement
+// objective as a fraction of its exact pipeline cell's — the
+// greedy-vs-exact optimality gap the -strategy exact modes report.
+// cells[i] must be the exact-strategy pipeline result advised against
+// mcFor(i); the greedy reports are recomputed from its memoized
+// profile (advising is cheap next to the runs already done).
+func gapTable(caption string, budgets []int64, cells []*hm.PipelineResult, mcFor func(int) hm.MemoryConfig) {
+	fmt.Println("\n" + caption)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "budget\tmisses(0%)\tdensity")
+	for i, pr := range cells {
+		mcfg := mcFor(i)
+		exactObj := hm.PlacementObjective(pr.Profile, pr.Report, mcfg)
+		ratioOf := func(s hm.Strategy) float64 {
+			rep, err := hm.AdviseHierarchy(pr.Profile, mcfg, s)
+			check(err)
+			if exactObj == 0 {
+				return 1
+			}
+			return hm.PlacementObjective(pr.Profile, rep, mcfg) / exactObj
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\n", units.HumanBytes(budgets[i]),
+			ratioOf(hm.StrategyMisses(0)), ratioOf(hm.StrategyDensity))
 	}
 	tw.Flush()
 }
@@ -428,16 +486,23 @@ func ntierTable(scale float64) {
 	// two-tier and waterfall cell shares ONE memoized profile — same
 	// workload, machine and seed) and the online run.
 	pts := []hm.SweepPoint{hm.BaselinePoint("ddr (oblivious)", w, hm.BaselineDDR, cfg)}
-	for _, budget := range []int64{64 * units.MB, 128 * units.MB, 256 * units.MB} {
+	waterfallLabel := "waterfall"
+	if stratOverride != nil {
+		waterfallLabel = "waterfall/" + stratOverride.Name()
+	}
+	budgets := []int64{64 * units.MB, 128 * units.MB, 256 * units.MB}
+	var waterfallIdx []int
+	for _, budget := range budgets {
 		mc := hm.MemoryConfigFor(m, budget)
 		pts = append(pts,
 			hm.PipelinePoint(fmt.Sprintf("two-tier @%s", units.HumanBytes(budget)), w, hm.PipelineConfig{
 				Machine: m, Seed: 42, Budget: budget, RefScale: scale,
 			}),
-			hm.PipelinePoint(fmt.Sprintf("waterfall @%s", units.HumanBytes(budget)), w, hm.PipelineConfig{
-				Machine: m, Seed: 42, Memory: &mc, RefScale: scale,
+			hm.PipelinePoint(fmt.Sprintf("%s @%s", waterfallLabel, units.HumanBytes(budget)), w, hm.PipelineConfig{
+				Machine: m, Seed: 42, Memory: &mc, RefScale: scale, Strategy: stratOverride,
 			}),
 		)
+		waterfallIdx = append(waterfallIdx, len(pts)-1)
 	}
 	pts = append(pts, hm.OnlinePoint("online @256 MB", w, hm.OnlineConfig{
 		Machine: m, Seed: 42, RefScale: scale, Budget: 256 * units.MB,
@@ -457,6 +522,15 @@ func ntierTable(scale float64) {
 	onl := res[len(res)-1].Run
 	fmt.Fprintf(tw, "online epochs/migrated MB\t%d\t%d\t\t\n", onl.Epochs, onl.MigratedBytes/units.MB)
 	tw.Flush()
+
+	if stratOverride != nil && stratOverride.Name() == "exact" {
+		var cells []*hm.PipelineResult
+		for _, ri := range waterfallIdx {
+			cells = append(cells, res[ri].Pipeline)
+		}
+		gapTable("waterfall-vs-exact objective gap (fraction of the exact N-tier optimum):",
+			budgets, cells, func(i int) hm.MemoryConfig { return hm.MemoryConfigFor(m, budgets[i]) })
+	}
 
 	ddrSizingSweep(w, m, ddr, scale)
 }

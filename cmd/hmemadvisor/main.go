@@ -15,7 +15,6 @@ import (
 	"strings"
 
 	hm "repro"
-	"repro/internal/advisor"
 	"repro/internal/units"
 )
 
@@ -36,34 +35,11 @@ func parseBudget(s string) (int64, error) {
 	return v * mult, nil
 }
 
-func parseStrategy(s string) (hm.Strategy, error) {
-	switch {
-	case s == "density":
-		return hm.StrategyDensity, nil
-	case s == "exactdp":
-		return hm.StrategyExactDP, nil
-	case s == "fcfs":
-		return advisor.FCFSStrategy{}, nil
-	case strings.HasPrefix(s, "misses"):
-		th := 0.0
-		if rest, ok := strings.CutPrefix(s, "misses:"); ok {
-			v, err := strconv.ParseFloat(rest, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad misses threshold %q", rest)
-			}
-			th = v
-		}
-		return hm.StrategyMisses(th), nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q (density|misses[:pct]|exactdp|fcfs)", s)
-	}
-}
-
 func main() {
 	in := flag.String("in", "", "input Paramedir CSV (required)")
 	out := flag.String("out", "", "output placement report (required)")
 	budget := flag.String("budget", "256M", "fast-memory budget (e.g. 128M, 16G)")
-	strategy := flag.String("strategy", "misses:0", "packing strategy: density | misses[:pct] | exactdp | fcfs")
+	strategy := flag.String("strategy", "misses:0", "packing strategy: density | misses[:pct] | exact | exactdp | fcfs")
 	timeAware := flag.Bool("timeaware", false, "budget the peak concurrent footprint from the liveness timeline")
 	predictTrace := flag.String("predict", "", "trace file to predict the placement's speedup against (optional)")
 	app := flag.String("app", "", "workload name for -predict machine derivation (defaults to the profile's app)")
@@ -77,7 +53,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	strat, err := parseStrategy(*strategy)
+	strat, err := hm.StrategyByName(*strategy)
 	if err != nil {
 		fail(err)
 	}

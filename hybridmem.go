@@ -38,6 +38,8 @@ package hybridmem
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"repro/internal/advisor"
 	"repro/internal/apps"
@@ -123,7 +125,59 @@ var (
 	StrategyDensity Strategy = advisor.DensityStrategy{}
 	// StrategyExactDP is the impractical exact 0/1 knapsack reference.
 	StrategyExactDP Strategy = advisor.ExactDP{}
+	// StrategyExactNTier is the exact N-tier placement solver: branch
+	// and bound over object×tier assignments with per-tier capacity
+	// constraints and the topology-aware effective-perf objective,
+	// pruned by an LP-relaxation bound. On the two-tier degenerate
+	// configuration it falls back to the ExactDP knapsack (reports are
+	// bit-identical up to the strategy label). It is the optimality
+	// oracle of the verification harness — pair it with
+	// PlacementObjective to measure a greedy strategy's gap.
+	StrategyExactNTier Strategy = advisor.ExactNTier{}
+	// StrategyFCFS packs in input order regardless of cost — the
+	// software analog of numactl -p 1, for baselines and tests.
+	StrategyFCFS Strategy = advisor.FCFSStrategy{}
 )
+
+// StrategyByName resolves a command-line strategy name — the one
+// grammar cmd/hmemadvisor and cmd/experiments share:
+//
+//	density | misses | misses:<pct> | exact | exact-dp | exactdp | fcfs
+//
+// Unknown names and malformed misses thresholds are errors; in
+// particular "misses5" is rejected rather than silently parsed as a
+// 0% threshold.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "density":
+		return StrategyDensity, nil
+	case "exact":
+		return StrategyExactNTier, nil
+	case "exact-dp", "exactdp":
+		return StrategyExactDP, nil
+	case "fcfs":
+		return StrategyFCFS, nil
+	case "misses":
+		return StrategyMisses(0), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "misses:"); ok {
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("hybridmem: bad misses threshold %q", rest)
+		}
+		return StrategyMisses(v), nil
+	}
+	return nil, fmt.Errorf("hybridmem: unknown strategy %q (density|misses[:pct]|exact|exact-dp|fcfs)", name)
+}
+
+// PlacementObjective prices a report against a memory configuration:
+// Σ misses × effective performance of the tier each profiled object
+// landed on (no entry = the default tier). This is the quantity
+// StrategyExactNTier maximizes, so greedy/exact objective ratios
+// measure how much performance a heuristic leaves on the table.
+func PlacementObjective(prof *ObjectProfile, rep *PlacementReport, mc MemoryConfig) float64 {
+	return advisor.ReportObjective(advisor.FromProfile(prof), rep, mc)
+}
 
 // StrategyMisses promotes by descending LLC misses with a percentage
 // threshold (the paper evaluates 0%, 1% and 5%).

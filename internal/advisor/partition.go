@@ -37,6 +37,9 @@ func AdvisePartitioned(app string, objs []Object, hot map[string]paramedir.HotRa
 		return nil, fmt.Errorf("advisor: nil strategy")
 	}
 	tiers, def := mc.hierarchy()
+	if err := rejectHierarchyStrategyCascade("partitioned", strat, tiers, def); err != nil {
+		return nil, err
+	}
 	fast := tiers[0]
 
 	// Strategy supplies the order (footprint-covering pack); the fit

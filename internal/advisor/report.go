@@ -253,6 +253,15 @@ func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report
 	}
 	tiers, def := mc.hierarchy()
 
+	// A hierarchy-aware strategy (the exact N-tier solver) assigns the
+	// whole tier stack in one solve — unless the configuration is the
+	// two-tier degenerate (one fast knapsack over a trailing default),
+	// where the cascade below IS the exact problem and the strategy's
+	// one-knapsack seam reproduces the reference DP bit for bit.
+	if hs, ok := strat.(HierarchyStrategy); ok && !(len(tiers) == 2 && tiers[1].Name == def) {
+		return adviseHierarchyStrategy(app, objs, tiers, def, hs)
+	}
+
 	rep := &Report{App: app, Strategy: strat.Name(), Budget: tiers[0].Capacity}
 	var packed []TierBudget
 	remaining := append([]Object(nil), objs...)
@@ -263,7 +272,11 @@ func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report
 			// be pure waste — pseudo-polynomial waste for ExactDP.
 			break
 		}
-		chosen := strat.Select(remaining, ClampBudget(remaining, tier.Capacity))
+		budget := ClampBudget(remaining, tier.Capacity)
+		chosen := strat.Select(remaining, budget)
+		if err := checkSelectionFits(strat.Name(), tier.Name, chosen, budget); err != nil {
+			return nil, err
+		}
 		if tier.Name != def {
 			packed = append(packed, TierBudget{Name: tier.Name, Capacity: tier.Capacity})
 			for _, o := range chosen {
@@ -278,6 +291,71 @@ func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report
 	rep.Tiers = tiersForReport(packed, tiers[0].Name)
 	rep.computeSizeBounds()
 	return rep, nil
+}
+
+// adviseHierarchyStrategy is the whole-hierarchy twin of the waterfall
+// loop: one SelectHierarchy solve instead of a cascade of Select
+// calls, with identical report-shape rules — entries per non-default
+// tier in hierarchy order, default placements implicit, per-tier
+// budgets recorded for N-tier reports.
+func adviseHierarchyStrategy(app string, objs []Object, tiers []TierConfig, def string, hs HierarchyStrategy) (*Report, error) {
+	sel, err := hs.SelectHierarchy(append([]Object(nil), objs...), tiers, def)
+	if err != nil {
+		return nil, err
+	}
+	// Trust boundary, as for the per-tier cascade: a selection keyed by
+	// an unknown tier (or the default) would silently vanish from the
+	// report, and an object selected twice would be placed twice — both
+	// are contract violations the advisor refuses rather than emits.
+	known := make(map[string]bool, len(tiers))
+	for _, tier := range tiers {
+		known[tier.Name] = tier.Name != def
+	}
+	for name := range sel {
+		if !known[name] {
+			return nil, fmt.Errorf("advisor: strategy %s selected objects for unknown or default tier %q", hs.Name(), name)
+		}
+	}
+	placed := make(map[string]bool)
+	rep := &Report{App: app, Strategy: hs.Name(), Budget: tiers[0].Capacity}
+	var packed []TierBudget
+	for _, tier := range tiers {
+		if tier.Name == def {
+			continue // default placements stay implicit, as in the cascade
+		}
+		packed = append(packed, TierBudget{Name: tier.Name, Capacity: tier.Capacity})
+		chosen := sel[tier.Name]
+		if err := checkSelectionFits(hs.Name(), tier.Name, chosen, tier.Capacity); err != nil {
+			return nil, err
+		}
+		for _, o := range chosen {
+			if placed[o.ID] {
+				return nil, fmt.Errorf("advisor: strategy %s placed object %s on two tiers", hs.Name(), o.ID)
+			}
+			placed[o.ID] = true
+			rep.Entries = append(rep.Entries, Entry{
+				Tier: tier.Name, ID: o.ID, Site: o.Site, Size: o.Size,
+				Misses: o.Misses, Static: o.Static,
+			})
+		}
+	}
+	rep.Tiers = tiersForReport(packed, tiers[0].Name)
+	rep.computeSizeBounds()
+	return rep, nil
+}
+
+// checkSelectionFits enforces the Strategy contract at the advisor's
+// trust boundary: a selection whose page-aligned footprint exceeds the
+// tier budget it was made for — e.g. a strategy that selected an
+// object bigger than every tier — would otherwise flow into a report
+// that auto-hbwmalloc silently truncates at run time. The advisor
+// refuses to emit it instead.
+func checkSelectionFits(strat, tier string, chosen []Object, budget int64) error {
+	if used := TotalPages(chosen) * units.PageSize; used > budget {
+		return fmt.Errorf("advisor: strategy %s overpacked tier %s: selection needs %d bytes of a %d-byte budget",
+			strat, tier, used, budget)
+	}
+	return nil
 }
 
 func (r *Report) computeSizeBounds() {

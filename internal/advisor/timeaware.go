@@ -118,6 +118,9 @@ func AdviseTimeAware(app string, objs []TimedObject, mc MemoryConfig, strat Stra
 		return nil, fmt.Errorf("advisor: nil strategy")
 	}
 	tiers, def := mc.hierarchy()
+	if err := rejectHierarchyStrategyCascade("time-aware", strat, tiers, def); err != nil {
+		return nil, err
+	}
 
 	// Use the strategy to produce the ORDER by running it with a
 	// budget covering every candidate (so nothing is dropped for fit

@@ -248,6 +248,15 @@ func New(mk *alloc.Memkind, prog *callstack.Program, opts Options) (*Policy, err
 		return nil, fmt.Errorf("online: negative min samples %d", opts.MinSamples)
 	}
 	opts.fill()
+	// The per-epoch re-solve cascades Strategy.Select one tier at a
+	// time; a hierarchy-aware solver run that way is greedy yet would
+	// still sign its reports with the oracle's name, so it is refused
+	// on any configuration beyond the two-tier degenerate (where the
+	// single fast knapsack IS the whole decision).
+	if _, ok := opts.Strategy.(advisor.HierarchyStrategy); ok && !(len(hier) == 2 && hier[1].ID == def.ID) {
+		return nil, fmt.Errorf("online: strategy %s solves whole hierarchies jointly; the per-epoch re-solve cascades per tier and would mislabel its output as exact",
+			opts.Strategy.Name())
+	}
 	p := &Policy{
 		mk: mk, prog: prog, opts: opts,
 		tiers:    hier,
