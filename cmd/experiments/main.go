@@ -19,7 +19,21 @@
 //	                        run the Figure 4 sweep grid through the
 //	                        sweep engine and write per-point wall-clock
 //	                        and refs/sec to FILE (the BENCH_sweep.json
-//	                        perf trajectory)
+//	                        perf trajectory); add -bench-compare BASE
+//	                        to fail on a >5% refs/sec regression vs an
+//	                        earlier document
+//	experiments -trace FILE
+//	                        record every sweep-shaped mode as flight-
+//	                        recorder JSONL: run manifests, epoch and
+//	                        migration-gate events, solver and packing
+//	                        progress, sweep-cell lifecycle (DESIGN.md
+//	                        "Observability")
+//	experiments -trace-summary FILE
+//	                        print the aggregate digest of a recorded
+//	                        trace
+//
+// -metrics additionally dumps each sweep cell's always-on engine
+// counters (page-table cache hits, arena reuse, allocation calls, ...).
 //
 // Use -app to restrict Figure 4 and the -online table to one
 // application and -scale to shrink the simulated access volume for
@@ -41,20 +55,38 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
 
 	hm "repro"
+	"repro/internal/cache"
 	"repro/internal/callstack"
 	"repro/internal/mem"
 	"repro/internal/predict"
 	"repro/internal/units"
+	"repro/internal/xrand"
 )
 
 // workers is the sweep worker-pool bound (0 = GOMAXPROCS).
 var workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+
+// showMetrics prints each sweep cell's engine counter snapshot.
+var showMetrics = flag.Bool("metrics", false, "print per-cell engine counters (page-table cache hits, arena reuse, ...) after each sweep")
+
+// benchReps is the -bench-json repetition count; the median rep (by
+// calibration-normalized throughput) is written so the trajectory
+// tracks a noise-resistant statistic.
+var benchReps = flag.Int("bench-reps", 5, "run the -bench-json sweep this many times and keep the median by normalized throughput")
+
+// traceRec is the -trace flight recorder (nil = tracing off); every
+// sweep-shaped mode feeds it through runSweep. traceClose finalizes
+// the trace file and is invoked from flushProfiles so it runs on every
+// exit path.
+var traceRec *hm.FlightRecorder
+var traceClose func()
 
 // strategyFlag overrides the pipeline packing strategy of the
 // sweep-shaped modes (hm.StrategyByName grammar); "exact" additionally
@@ -69,9 +101,32 @@ var stratOverride hm.Strategy
 // runSweep is the tool's one gateway to the sweep engine, so every
 // mode honours -workers.
 func runSweep(points []hm.SweepPoint) []hm.SweepResult {
-	res, err := hm.RunSweep(points, hm.SweepOptions{Workers: *workers})
+	res, err := hm.RunSweep(points, hm.SweepOptions{Workers: *workers, Obs: traceRec})
 	check(err)
+	if *showMetrics {
+		printMetrics(res)
+	}
 	return res
+}
+
+// printMetrics dumps each cell's always-on engine counters, sorted by
+// key so output is diffable.
+func printMetrics(res []hm.SweepResult) {
+	for _, r := range res {
+		if r.Run == nil || len(r.Run.Metrics) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(r.Run.Metrics))
+		for k := range r.Run.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("metrics %s:", r.Label)
+		for _, k := range keys {
+			fmt.Printf(" %s=%d", k, r.Run.Metrics[k])
+		}
+		fmt.Println()
+	}
 }
 
 func main() {
@@ -84,6 +139,9 @@ func main() {
 	app := flag.String("app", "", "restrict -fig 4 and -online to one application")
 	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
 	benchJSON := flag.String("bench-json", "", "write the sweep benchmark trajectory to this file (e.g. BENCH_sweep.json)")
+	benchCompare := flag.String("bench-compare", "", "with -bench-json: fail (exit 1) if the new sweep refs/sec regresses >5% vs this baseline BENCH_sweep.json")
+	tracePath := flag.String("trace", "", "record every sweep-shaped mode as flight-recorder JSONL into this file")
+	traceSummary := flag.String("trace-summary", "", "summarize an existing flight-recorder JSONL trace and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -101,9 +159,37 @@ func main() {
 	startProfiles(*cpuProfile, *memProfile)
 	defer flushProfiles()
 
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		check(err)
+		traceRec = hm.NewFlightRecorder(f)
+		// The file-level manifest identifies the tool invocation; each
+		// simulated run adds its own manifest below it.
+		traceRec.EmitManifest(hm.RunManifest{
+			App:      "experiments",
+			Workload: *app,
+			Strategy: *strategyFlag,
+			RefScale: *scale,
+			ConfigFP: hm.ConfigFingerprint(os.Args[1:]),
+		})
+		traceClose = func() {
+			if err := traceRec.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+			}
+			f.Close()
+		}
+	}
+
 	any := false
+	if *traceSummary != "" {
+		summarizeTrace(*traceSummary)
+		any = true
+	}
 	if *benchJSON != "" {
 		benchSweep(*benchJSON, *app, *scale)
+		if *benchCompare != "" {
+			compareBench(*benchCompare, *benchJSON)
+		}
 		any = true
 	}
 	if *all || *fig == 1 {
@@ -190,7 +276,20 @@ func flushProfiles() {
 		if profileFlush != nil {
 			profileFlush()
 		}
+		if traceClose != nil {
+			traceClose()
+		}
 	})
+}
+
+// summarizeTrace renders the aggregate digest of a recorded trace.
+func summarizeTrace(path string) {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	s, err := hm.SummarizeTrace(f)
+	check(err)
+	check(s.WriteText(os.Stdout))
 }
 
 func header(title string) {
@@ -735,37 +834,146 @@ type benchPoint struct {
 
 // benchDoc is the BENCH_sweep.json schema: the perf trajectory CI
 // accumulates per commit, so sweep-engine regressions show up as
-// wall-clock growth against history.
+// wall-clock growth against history. CalibRefsPerSec is the raw
+// access-path throughput measured in the same time window as the
+// winning sweep repetition; NormalizedThroughput (sweep/calibration)
+// is what -bench-compare gates on, because the ratio cancels
+// machine-speed differences and shared-runner noise that make absolute
+// refs/sec incomparable across hosts.
 type benchDoc struct {
-	Schema          int          `json:"schema"`
-	App             string       `json:"app"`
-	Scale           float64      `json:"scale"`
-	Workers         int          `json:"workers"`
-	GOMAXPROCS      int          `json:"gomaxprocs"`
-	PointCount      int          `json:"point_count"`
-	ProfileCount    int          `json:"profile_count"`
-	TotalWallNS     int64        `json:"total_wall_ns"`
-	TotalRefs       int64        `json:"total_refs"`
-	SweepRefsPerSec float64      `json:"sweep_refs_per_sec"`
-	Points          []benchPoint `json:"points"`
+	Schema               int          `json:"schema"`
+	App                  string       `json:"app"`
+	Scale                float64      `json:"scale"`
+	Workers              int          `json:"workers"`
+	GOMAXPROCS           int          `json:"gomaxprocs"`
+	PointCount           int          `json:"point_count"`
+	ProfileCount         int          `json:"profile_count"`
+	TotalWallNS          int64        `json:"total_wall_ns"`
+	TotalRefs            int64        `json:"total_refs"`
+	SweepRefsPerSec      float64      `json:"sweep_refs_per_sec"`
+	CalibRefsPerSec      float64      `json:"calib_refs_per_sec,omitempty"`
+	NormalizedThroughput float64      `json:"normalized_throughput,omitempty"`
+	Points               []benchPoint `json:"points"`
+}
+
+// calibrate measures the raw access-path throughput — the same mixed
+// reference stream as internal/cache's BenchmarkAccessPath — across
+// one goroutine per sweep worker, and returns aggregate refs/sec. It
+// is the machine-speed yardstick every sweep repetition is normalized
+// by; running it with the sweep's own parallelism makes core-stealing
+// by co-tenants hit yardstick and sweep alike.
+func calibrate() float64 {
+	procs := *workers
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	const refs = 1 << 23
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		go func(seed uint64) {
+			defer wg.Done()
+			calibrateLoop(seed, refs)
+		}(uint64(p + 7))
+	}
+	wg.Wait()
+	return float64(procs) * refs / time.Since(start).Seconds()
+}
+
+// calibrateLoop drives one goroutine's private hierarchy through the
+// mixed reference stream.
+func calibrateLoop(seed uint64, refs int) {
+	m := mem.DefaultKNL()
+	pt := mem.NewPageTable(mem.TierDDR)
+	const seg = 256 << 20
+	ddrBase := uint64(1) << 32
+	hbwBase := uint64(2) << 32
+	check(pt.SetCoarseRange(ddrBase, seg, mem.TierDDR))
+	check(pt.SetCoarseRange(hbwBase, seg, mem.TierMCDRAM))
+	pt.SetRange(ddrBase+64<<20, 16*units.MB, mem.TierMCDRAM)
+	h, err := cache.NewHierarchy(&m, pt)
+	check(err)
+	rng := xrand.New(seed)
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		switch i % 4 {
+		case 0:
+			addrs[i] = ddrBase + uint64(i*64)%seg
+		case 1:
+			addrs[i] = hbwBase + uint64(i*64)%seg
+		case 2:
+			addrs[i] = ddrBase + 64<<20 + rng.Uint64n(16<<20)&^63
+		default:
+			addrs[i] = ddrBase + rng.Uint64n(seg)&^63
+		}
+	}
+	mask := len(addrs) - 1
+	for _, a := range addrs { // warm up
+		h.Access(a)
+	}
+	for i := 0; i < refs; i++ {
+		h.Access(addrs[i&mask])
+	}
 }
 
 // benchSweep runs the Figure 4 grid through the sweep engine and
 // writes per-point wall-clock and refs/sec to path. The default
 // subject is minife (a framework-wins workload with the standard
-// 4-budget × 4-strategy plane); -app overrides.
+// 4-budget × 4-strategy plane); -app overrides. The grid runs
+// benchReps times, each paired with a calibration measurement, and the
+// MEDIAN repetition by normalized throughput becomes the document —
+// the noise-resistant statistic a >5% regression gate (-bench-compare)
+// can be held to, where a single measurement on a shared runner is
+// not.
 func benchSweep(path, only string, scale float64) {
 	app := only
 	if app == "" {
 		app = "minife"
 	}
-	header(fmt.Sprintf("Sweep benchmark: %s -> %s", app, path))
+	header(fmt.Sprintf("Sweep benchmark: %s -> %s (median of %d)", app, path, *benchReps))
 	w, err := hm.WorkloadByName(app)
 	check(err)
 	pts, _ := fig4Grid(w, scale)
-	start := time.Now()
-	res := runSweep(pts)
-	total := time.Since(start)
+	type repMeasure struct {
+		res   []hm.SweepResult
+		total time.Duration
+		calib float64
+		norm  float64
+	}
+	reps := make([]repMeasure, 0, *benchReps)
+	for rep := 0; rep < *benchReps; rep++ {
+		// Calibrate in the same time window as the sweep it yardsticks,
+		// so a machine-wide slow period hits numerator and denominator
+		// alike and the normalized ratio stays comparable.
+		c := calibrate()
+		start := time.Now()
+		r := runSweep(pts)
+		elapsed := time.Since(start)
+		var refs int64
+		for _, rr := range r {
+			refs += rr.Refs
+		}
+		reps = append(reps, repMeasure{r, elapsed, c, float64(refs) / elapsed.Seconds() / c})
+	}
+	// The gate statistic aggregates ALL repetitions — total refs over
+	// total sweep seconds, normalized by the mean calibration — so
+	// measurement noise averages down by sqrt(reps); per-point detail
+	// comes from the median repetition.
+	var sumSecs, sumCalib float64
+	var sumRefs int64
+	for _, rm := range reps {
+		sumSecs += rm.total.Seconds()
+		sumCalib += rm.calib
+		for _, rr := range rm.res {
+			sumRefs += rr.Refs
+		}
+	}
+	calib := sumCalib / float64(len(reps))
+	normAgg := float64(sumRefs) / sumSecs / calib
+	sort.Slice(reps, func(i, j int) bool { return reps[i].norm < reps[j].norm })
+	mid := reps[len(reps)/2] // median by normalized throughput
+	res, total := mid.res, mid.total
 
 	doc := benchDoc{
 		Schema:      1,
@@ -798,12 +1006,50 @@ func benchSweep(path, only string, scale float64) {
 	if secs := total.Seconds(); secs > 0 {
 		doc.SweepRefsPerSec = float64(doc.TotalRefs) / secs
 	}
+	doc.CalibRefsPerSec = calib
+	doc.NormalizedThroughput = normAgg
 
 	buf, err := json.MarshalIndent(&doc, "", "  ")
 	check(err)
 	check(os.WriteFile(path, append(buf, '\n'), 0o644))
 	fmt.Printf("%d points (%d memoized profiles) in %v — %.0f simulated refs/s; wrote %s\n",
 		doc.PointCount, doc.ProfileCount, total.Round(time.Millisecond), doc.SweepRefsPerSec, path)
+}
+
+// compareBench guards the sweep's throughput trajectory: it fails the
+// run (exit 1) when the freshly written BENCH_sweep document regresses
+// more than 5% against the committed baseline. The gate compares
+// calibration-NORMALIZED throughput (sweep refs/sec over the raw
+// access-path refs/sec measured in the same time window): the ratio
+// cancels host speed and shared-runner noise, so a baseline committed
+// on one machine holds on another, while genuine sweep-engine
+// regressions — added allocations, lost memoization or parallelism —
+// still move it. Raw refs/sec is the fallback for pre-calibration
+// baseline documents.
+func compareBench(baselinePath, newPath string) {
+	read := func(path string) benchDoc {
+		buf, err := os.ReadFile(path)
+		check(err)
+		var doc benchDoc
+		check(json.Unmarshal(buf, &doc))
+		return doc
+	}
+	base, cur := read(baselinePath), read(newPath)
+	metric := "normalized throughput"
+	baseV, curV := base.NormalizedThroughput, cur.NormalizedThroughput
+	if baseV <= 0 || curV <= 0 {
+		metric, baseV, curV = "refs/s", base.SweepRefsPerSec, cur.SweepRefsPerSec
+	}
+	if baseV <= 0 {
+		check(fmt.Errorf("bench-compare: baseline %s has no throughput figure", baselinePath))
+	}
+	ratio := curV / baseV
+	fmt.Printf("bench-compare: %s %.4g vs baseline %.4g (%.1f%%); raw %.0f vs %.0f refs/s\n",
+		metric, curV, baseV, ratio*100, cur.SweepRefsPerSec, base.SweepRefsPerSec)
+	if ratio < 0.95 {
+		check(fmt.Errorf("bench-compare: sweep %s regressed %.1f%% (> 5%% threshold) vs %s",
+			metric, (1-ratio)*100, baselinePath))
+	}
 }
 
 func check(err error) {

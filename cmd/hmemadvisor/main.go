@@ -5,6 +5,10 @@
 //
 //	hmemadvisor -in hpcg.csv -budget 256M -strategy misses:5 -out hpcg.rpt
 //	hmemadvisor -in snap.csv -budget 128M -strategy density -out snap.rpt
+//
+// -trace FILE additionally records the advise stage as flight-recorder
+// JSONL: a manifest, the waterfall's per-tier packing steps and — under
+// -strategy exact — the branch-and-bound solver's node/prune counters.
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 	timeAware := flag.Bool("timeaware", false, "budget the peak concurrent footprint from the liveness timeline")
 	predictTrace := flag.String("predict", "", "trace file to predict the placement's speedup against (optional)")
 	app := flag.String("app", "", "workload name for -predict machine derivation (defaults to the profile's app)")
+	tracePath := flag.String("trace", "", "record the advise stage as flight-recorder JSONL into this file")
 	flag.Parse()
 
 	if *in == "" || *out == "" {
@@ -66,11 +71,28 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	advise := hm.Advise
-	if *timeAware {
-		advise = hm.AdviseTimeAware
+	var rec *hm.FlightRecorder
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer tf.Close()
+		rec = hm.NewFlightRecorder(tf)
+		rec.EmitManifest(hm.RunManifest{
+			App:      prof.App,
+			Strategy: strat.Name(),
+			ConfigFP: hm.ConfigFingerprint(os.Args[1:]),
+		})
 	}
-	rep, err := advise(prof, b, strat)
+	var rep *hm.PlacementReport
+	if *timeAware {
+		// The time-aware packer has no observed variant; the trace
+		// carries the manifest only.
+		rep, err = hm.AdviseTimeAware(prof, b, strat)
+	} else {
+		rep, err = hm.AdviseObserved(prof, b, strat, rec)
+	}
 	if err != nil {
 		fail(err)
 	}

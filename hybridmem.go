@@ -49,6 +49,7 @@ import (
 	"repro/internal/interpose"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/paramedir"
 	"repro/internal/predict"
@@ -94,7 +95,30 @@ type (
 	InterposeStats = interpose.Stats
 	// Folded is the Figure 5 folded-iteration profile.
 	Folded = folding.Folded
+	// FlightRecorder is the structured-trace recorder of internal/obs.
+	// A nil *FlightRecorder is valid everywhere one is accepted and
+	// records nothing at zero cost.
+	FlightRecorder = obs.Recorder
+	// RunManifest is the run-identification header event every traced
+	// run begins with.
+	RunManifest = obs.Manifest
+	// TraceSummary is the aggregate digest of a JSONL trace.
+	TraceSummary = obs.Summary
 )
+
+// NewFlightRecorder returns a recorder streaming deterministic JSONL
+// events to w. Attach it via the Obs field of ProfileConfig,
+// ExecuteConfig, OnlineConfig, PipelineConfig or SweepOptions.
+func NewFlightRecorder(w io.Writer) *FlightRecorder { return obs.New(w) }
+
+// SummarizeTrace aggregates a JSONL trace (as written by a
+// FlightRecorder) into a TraceSummary digest.
+func SummarizeTrace(r io.Reader) (*TraceSummary, error) { return obs.Summarize(r) }
+
+// ConfigFingerprint is the stable short fingerprint the flight
+// recorder stamps into manifests — exposed so CLIs can label external
+// artifacts consistently with trace contents.
+func ConfigFingerprint(v any) string { return obs.Fingerprint(v) }
 
 // Storage classes and access patterns, re-exported for workload
 // authors.
@@ -371,6 +395,8 @@ type ProfileConfig struct {
 	MinAllocSize int64
 	// RefScale scales simulated access volume (0 = 1.0).
 	RefScale float64
+	// Obs, when non-nil, records the run's manifest and epoch events.
+	Obs *FlightRecorder
 }
 
 // DefaultScaledPeriod is the default PEBS period for the scaled
@@ -403,6 +429,8 @@ func Profile(w *Workload, cfg ProfileConfig) (*Trace, *RunResult, error) {
 		Seed:       cfg.Seed,
 		MakePolicy: baseline.DDR(),
 		RefScale:   cfg.RefScale,
+		Obs:        cfg.Obs,
+		Tag:        "profile",
 		Monitor: &engine.MonitorConfig{
 			SamplePeriod: cfg.SamplePeriod,
 			MinAllocSize: cfg.MinAllocSize,
@@ -419,12 +447,18 @@ func Profile(w *Workload, cfg ProfileConfig) (*Trace, *RunResult, error) {
 // (instrumenting the production placement instead of the DDR one).
 func ProfileWithPolicy(w *Workload, cfg ProfileConfig, rep *PlacementReport) (*Trace, *RunResult, error) {
 	cfg.fill()
+	tag := "profile"
+	if rep != nil && rep.Strategy != "" {
+		tag = "profile/" + rep.Strategy
+	}
 	res, err := engine.Run(w, engine.Config{
 		Machine:    cfg.Machine,
 		Cores:      cfg.Cores,
 		Seed:       cfg.Seed,
 		MakePolicy: interpose.Factory(rep, InterposeOptions{}),
 		RefScale:   cfg.RefScale,
+		Obs:        cfg.Obs,
+		Tag:        tag,
 		Monitor: &engine.MonitorConfig{
 			SamplePeriod: cfg.SamplePeriod,
 			MinAllocSize: cfg.MinAllocSize,
@@ -449,6 +483,26 @@ func Advise(prof *ObjectProfile, budget int64, strat Strategy) (*PlacementReport
 		return nil, fmt.Errorf("hybridmem: nil profile")
 	}
 	return advisor.Advise(prof.App, advisor.FromProfile(prof), advisor.TwoTier(budget), strat)
+}
+
+// AdviseObserved is Advise with a flight recorder attached: the
+// waterfall's per-tier packing steps and — under StrategyExactNTier —
+// the branch-and-bound solver's node/prune counters are emitted as
+// pack/solver events. A nil recorder makes it exactly Advise.
+func AdviseObserved(prof *ObjectProfile, budget int64, strat Strategy, rec *FlightRecorder) (*PlacementReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("hybridmem: nil profile")
+	}
+	return advisor.AdviseObserved(prof.App, advisor.FromProfile(prof), advisor.TwoTier(budget), strat, rec)
+}
+
+// AdviseHierarchyObserved is AdviseHierarchy with a flight recorder
+// attached; see AdviseObserved.
+func AdviseHierarchyObserved(prof *ObjectProfile, mc MemoryConfig, strat Strategy, rec *FlightRecorder) (*PlacementReport, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("hybridmem: nil profile")
+	}
+	return advisor.AdviseObserved(prof.App, advisor.FromProfile(prof), mc, strat, rec)
 }
 
 // TwoTier returns the classic MCDRAM+DDR advisor configuration with
@@ -535,17 +589,25 @@ type ExecuteConfig struct {
 	Cores    int
 	Seed     uint64
 	RefScale float64
+	// Obs, when non-nil, records the run's manifest and epoch events.
+	Obs *FlightRecorder
 }
 
 // Execute is Stage 4: re-run w with auto-hbwmalloc honouring the
 // advisor report.
 func Execute(w *Workload, rep *PlacementReport, opts InterposeOptions, cfg ExecuteConfig) (*RunResult, error) {
+	tag := ""
+	if rep != nil {
+		tag = rep.Strategy
+	}
 	return engine.Run(w, engine.Config{
 		Machine:    cfg.Machine,
 		Cores:      cfg.Cores,
 		Seed:       cfg.Seed,
 		RefScale:   cfg.RefScale,
 		MakePolicy: interpose.Factory(rep, opts),
+		Obs:        cfg.Obs,
+		Tag:        tag,
 	})
 }
 
@@ -594,6 +656,8 @@ func RunBaseline(w *Workload, b Baseline, cfg ExecuteConfig) (*RunResult, error)
 		Cores:    cfg.Cores,
 		Seed:     cfg.Seed,
 		RefScale: cfg.RefScale,
+		Obs:      cfg.Obs,
+		Tag:      b.String(),
 	}
 	switch b {
 	case BaselineDDR:
@@ -609,7 +673,7 @@ func RunBaseline(w *Workload, b Baseline, cfg ExecuteConfig) (*RunResult, error)
 	case BaselineOnline:
 		return RunOnline(w, OnlineConfig{
 			Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
-			RefScale: cfg.RefScale,
+			RefScale: cfg.RefScale, Obs: cfg.Obs,
 		})
 	default:
 		return nil, fmt.Errorf("hybridmem: unknown baseline %v", b)
@@ -653,6 +717,10 @@ type OnlineConfig struct {
 	MinSamples    int
 	// Strategy packs the per-epoch knapsack (nil = StrategyDensity).
 	Strategy Strategy
+	// Obs, when non-nil, records the run's manifest and epoch events
+	// plus the placer's per-epoch tier-usage snapshots and
+	// migration-gate ACCEPT/REJECT decisions.
+	Obs *FlightRecorder
 }
 
 // RunOnline executes w under the online adaptive placer. The result's
@@ -682,9 +750,15 @@ func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
 			totalEpochs = w.Iterations
 		}
 	}
+	tag := "online/density"
+	if cfg.Strategy != nil {
+		tag = "online/" + cfg.Strategy.Name()
+	}
 	return engine.Run(w, engine.Config{
 		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
 		RefScale: cfg.RefScale,
+		Obs:      cfg.Obs,
+		Tag:      tag,
 		MakePolicy: online.Factory(online.Options{
 			Machine: cfg.Machine, Cores: cfg.Cores, Budget: budget,
 			Budgets:         cfg.Budgets,
@@ -694,6 +768,7 @@ func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
 			Hysteresis: cfg.Hysteresis, HorizonEpochs: cfg.HorizonEpochs,
 			MinSamples:  cfg.MinSamples,
 			TotalEpochs: totalEpochs, Strategy: cfg.Strategy,
+			Obs: cfg.Obs,
 		}),
 	})
 }
@@ -720,6 +795,12 @@ type PipelineConfig struct {
 	TimeAware bool
 	// Interpose tunes the run-time library.
 	Interpose InterposeOptions
+	// Obs, when non-nil, records every stage: the profiling and
+	// production runs' manifests and epoch events plus the advisor's
+	// pack/solver events. RunSweep replaces it per cell with a buffered
+	// recorder (and skips the shared profiling run's events) so parallel
+	// sweep traces stay deterministic.
+	Obs *FlightRecorder
 }
 
 // PipelineResult carries every stage's artifact.
@@ -776,7 +857,7 @@ func (cfg *PipelineConfig) profileConfig() ProfileConfig {
 	return ProfileConfig{
 		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
 		SamplePeriod: cfg.SamplePeriod, MinAllocSize: cfg.MinAllocSize,
-		RefScale: cfg.RefScale,
+		RefScale: cfg.RefScale, Obs: cfg.Obs,
 	}
 }
 
@@ -790,11 +871,11 @@ func adviseAndExecute(w *Workload, cfg PipelineConfig, tr *Trace, profRun *RunRe
 	case cfg.Memory != nil && cfg.TimeAware:
 		rep, err = AdviseHierarchyTimeAware(prof, *cfg.Memory, cfg.Strategy)
 	case cfg.Memory != nil:
-		rep, err = AdviseHierarchy(prof, *cfg.Memory, cfg.Strategy)
+		rep, err = AdviseHierarchyObserved(prof, *cfg.Memory, cfg.Strategy, cfg.Obs)
 	case cfg.TimeAware:
 		rep, err = AdviseTimeAware(prof, cfg.Budget, cfg.Strategy)
 	default:
-		rep, err = Advise(prof, cfg.Budget, cfg.Strategy)
+		rep, err = AdviseObserved(prof, cfg.Budget, cfg.Strategy, cfg.Obs)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: advise stage: %w", err)
@@ -803,7 +884,7 @@ func adviseAndExecute(w *Workload, cfg PipelineConfig, tr *Trace, profRun *RunRe
 	// different ASLR layout — translation must bridge it.
 	res, err := Execute(w, rep, cfg.Interpose, ExecuteConfig{
 		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed + 0x9e37,
-		RefScale: cfg.RefScale,
+		RefScale: cfg.RefScale, Obs: cfg.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: execute stage: %w", err)

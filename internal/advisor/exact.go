@@ -97,6 +97,16 @@ type nTierCand struct {
 	density float64 // misses per page
 }
 
+// NTierSolveStats is the flight recorder's view of one branch-and-
+// bound solve: nodes explored, subtrees cut by the LP-relaxation
+// bound, and the best objective found.
+type NTierSolveStats struct {
+	Nodes   int64
+	Pruned  int64
+	Best    float64
+	Overrun bool
+}
+
 // SelectHierarchy implements HierarchyStrategy: branch-and-bound over
 // the object×tier assignment space, pruned by the fractional
 // (LP-relaxation) bound of the remaining suffix. Candidates are
@@ -104,8 +114,15 @@ type nTierCand struct {
 // first, so the first leaf reached is the greedy fit and every later
 // improvement tightens the bound.
 func (e ExactNTier) SelectHierarchy(objs []Object, tiers []TierConfig, def string) (map[string][]Object, error) {
+	sel, _, err := e.selectHierarchyStats(objs, tiers, def)
+	return sel, err
+}
+
+// selectHierarchyStats is SelectHierarchy with search statistics — the
+// stats are valid (and reported) even when the node budget overruns.
+func (e ExactNTier) selectHierarchyStats(objs []Object, tiers []TierConfig, def string) (map[string][]Object, NTierSolveStats, error) {
 	if len(tiers) < 2 {
-		return nil, fmt.Errorf("advisor: exact solver needs at least two tiers, got %d", len(tiers))
+		return nil, NTierSolveStats{}, fmt.Errorf("advisor: exact solver needs at least two tiers, got %d", len(tiers))
 	}
 	maxNodes := e.MaxNodes
 	if maxNodes <= 0 {
@@ -138,7 +155,7 @@ func (e ExactNTier) SelectHierarchy(objs []Object, tiers []TierConfig, def strin
 		}
 	}
 	if defIdx < 0 {
-		return nil, fmt.Errorf("advisor: default tier %q not in hierarchy", def)
+		return nil, NTierSolveStats{}, fmt.Errorf("advisor: default tier %q not in hierarchy", def)
 	}
 	// The default tier is the unbounded absorber: a report's entries
 	// are bounded by their tiers' budgets, but whatever no entry names
@@ -174,7 +191,7 @@ func (e ExactNTier) SelectHierarchy(objs []Object, tiers []TierConfig, def strin
 	found := false
 	rem := append([]int64(nil), caps...)
 	scratch := make([]int64, len(tiers))
-	var nodes int64
+	var nodes, pruned int64
 	var overrun bool
 
 	// bound is the fractional-relaxation optimum of the suffix k..n-1
@@ -222,6 +239,7 @@ func (e ExactNTier) SelectHierarchy(objs []Object, tiers []TierConfig, def strin
 			return
 		}
 		if found && cur+bound(k) <= best+1e-9 {
+			pruned++
 			return
 		}
 		for t := range tiers {
@@ -235,8 +253,12 @@ func (e ExactNTier) SelectHierarchy(objs []Object, tiers []TierConfig, def strin
 		}
 	}
 	dfs(0, 0)
+	stats := NTierSolveStats{Nodes: nodes, Pruned: pruned, Overrun: overrun}
+	if found {
+		stats.Best = best
+	}
 	if overrun {
-		return nil, fmt.Errorf("advisor: exact solver exceeded %d branch-and-bound nodes on %d objects × %d tiers; raise ExactNTier.MaxNodes",
+		return nil, stats, fmt.Errorf("advisor: exact solver exceeded %d branch-and-bound nodes on %d objects × %d tiers; raise ExactNTier.MaxNodes",
 			maxNodes, n, len(tiers))
 	}
 
@@ -258,7 +280,7 @@ func (e ExactNTier) SelectHierarchy(objs []Object, tiers []TierConfig, def strin
 		}
 		out[tiers[t].Name] = sel
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // rejectHierarchyStrategyCascade guards the advisors that only use a

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/callstack"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -245,6 +246,14 @@ type Report struct {
 // promoting them is valuable advice for a developer — but are flagged
 // so the interposer knows it cannot act on them.
 func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report, error) {
+	return AdviseObserved(app, objs, mc, strat, nil)
+}
+
+// AdviseObserved is Advise with a flight recorder attached: every
+// waterfall packing step emits one pack event, and the exact N-tier
+// solver reports its search statistics (nodes explored, LP-bound
+// cutoffs, best objective). A nil recorder is exactly Advise.
+func AdviseObserved(app string, objs []Object, mc MemoryConfig, strat Strategy, rec *obs.Recorder) (*Report, error) {
 	if err := mc.Validate(); err != nil {
 		return nil, err
 	}
@@ -259,7 +268,7 @@ func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report
 	// where the cascade below IS the exact problem and the strategy's
 	// one-knapsack seam reproduces the reference DP bit for bit.
 	if hs, ok := strat.(HierarchyStrategy); ok && !(len(tiers) == 2 && tiers[1].Name == def) {
-		return adviseHierarchyStrategy(app, objs, tiers, def, hs)
+		return adviseHierarchyStrategy(app, objs, tiers, def, hs, rec)
 	}
 
 	rep := &Report{App: app, Strategy: strat.Name(), Budget: tiers[0].Capacity}
@@ -277,6 +286,11 @@ func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report
 		if err := checkSelectionFits(strat.Name(), tier.Name, chosen, budget); err != nil {
 			return nil, err
 		}
+		rec.EmitPack(obs.PackEvent{
+			Tier: tier.Name, Budget: budget,
+			Candidates: len(remaining), Chosen: len(chosen),
+			ChosenBytes: TotalPages(chosen) * units.PageSize,
+		})
 		if tier.Name != def {
 			packed = append(packed, TierBudget{Name: tier.Name, Capacity: tier.Capacity})
 			for _, o := range chosen {
@@ -298,8 +312,21 @@ func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report
 // calls, with identical report-shape rules — entries per non-default
 // tier in hierarchy order, default placements implicit, per-tier
 // budgets recorded for N-tier reports.
-func adviseHierarchyStrategy(app string, objs []Object, tiers []TierConfig, def string, hs HierarchyStrategy) (*Report, error) {
-	sel, err := hs.SelectHierarchy(append([]Object(nil), objs...), tiers, def)
+func adviseHierarchyStrategy(app string, objs []Object, tiers []TierConfig, def string, hs HierarchyStrategy, rec *obs.Recorder) (*Report, error) {
+	var sel map[string][]Object
+	var err error
+	if e, ok := hs.(ExactNTier); ok && rec != nil {
+		// The stats-carrying solve is the same search; the recorder gets
+		// its progress numbers even when the node budget overruns.
+		var st NTierSolveStats
+		sel, st, err = e.selectHierarchyStats(append([]Object(nil), objs...), tiers, def)
+		rec.EmitSolver(obs.SolverEvent{
+			Strategy: hs.Name(), Objects: len(objs), Tiers: len(tiers),
+			Nodes: st.Nodes, Pruned: st.Pruned, Best: st.Best, Overrun: st.Overrun,
+		})
+	} else {
+		sel, err = hs.SelectHierarchy(append([]Object(nil), objs...), tiers, def)
+	}
 	if err != nil {
 		return nil, err
 	}

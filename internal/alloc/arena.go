@@ -33,14 +33,21 @@ type Arena struct {
 
 	used, hwm                 int64
 	nMalloc, nFree, nFailures int64
+
+	// frontier is the highest address ever handed out; nReuse counts
+	// allocations served below it, i.e. from previously freed space —
+	// the recycling statistic Result.Metrics reports per run.
+	frontier uint64
+	nReuse   int64
 }
 
 // NewArena returns an allocator over seg with the whole segment free.
 func NewArena(seg Segment) *Arena {
 	return &Arena{
-		seg:  seg,
-		free: []freeBlock{{addr: seg.Base, size: seg.Size}},
-		live: make(map[uint64]int64),
+		seg:      seg,
+		free:     []freeBlock{{addr: seg.Base, size: seg.Size}},
+		live:     make(map[uint64]int64),
+		frontier: seg.Base,
 	}
 }
 
@@ -72,6 +79,11 @@ func (a *Arena) Malloc(size int64) (uint64, error) {
 				a.hwm = a.used
 			}
 			a.nMalloc++
+			if addr < a.frontier {
+				a.nReuse++
+			} else if end := addr + uint64(need); end > a.frontier {
+				a.frontier = end
+			}
 			return addr, nil
 		}
 	}
@@ -172,6 +184,10 @@ func (a *Arena) Frees() int64 { return a.nFree }
 
 // Failures returns the number of allocation failures (OOM).
 func (a *Arena) Failures() int64 { return a.nFailures }
+
+// Reuses returns how many successful allocations were served from
+// previously freed space (below the arena's all-time frontier).
+func (a *Arena) Reuses() int64 { return a.nReuse }
 
 // Segment returns the arena's segment.
 func (a *Arena) Segment() Segment { return a.seg }

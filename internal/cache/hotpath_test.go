@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/units"
 	"repro/internal/xrand"
 )
@@ -68,6 +69,30 @@ func TestHierarchyAccessZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("Hierarchy.Access allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestAccessWithDisabledRecorderZeroAllocs pins the flight recorder's
+// zero-overhead contract where it matters most: a run that carries a
+// disabled (nil) recorder must walk the access path — and skip its
+// event emission — without a single allocation. This is the guard the
+// observability layer must never break; if it fires, an emit path is
+// letting an event escape to the heap before the nil check.
+func TestAccessWithDisabledRecorderZeroAllocs(t *testing.T) {
+	h, _, addrs := hotPathFixture(t)
+	for _, a := range addrs {
+		h.Access(a)
+	}
+	var rec *obs.Recorder // every untraced run carries exactly this
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		h.Access(addrs[i&(len(addrs)-1)])
+		rec.EmitGate(obs.GateEvent{Epoch: i, Decision: obs.DecisionAccept, Moves: 1})
+		rec.EmitEpoch(obs.EpochEvent{Epoch: i, Refs: int64(i)})
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Access + disabled recorder allocates %.1f times per call, want 0", allocs)
 	}
 }
 

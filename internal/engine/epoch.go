@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pebs"
 	"repro/internal/units"
 )
@@ -108,7 +109,20 @@ func (r *runner) maybeEndEpoch(it int, iterBoundary bool) {
 		Refs: r.epochRefs, Samples: r.epochSamples,
 		TierBytes: r.epochTierBytes, Duration: r.now - r.epochStart,
 	}
+	preMoves, preBytes := r.result.Migrations, r.result.MigratedBytes
 	r.applyMigrations(r.epochPol.EpochEnd(info), info.TierBytes, info.Duration)
+	if o := r.cfg.Obs; o != nil {
+		tb := make(map[string]int64, len(info.TierBytes))
+		for id, b := range info.TierBytes {
+			tb[r.tierName(id)] = b
+		}
+		o.EmitEpoch(obs.EpochEvent{
+			Epoch: info.Index, Iteration: info.Iteration,
+			Refs: info.Refs, DurationCycles: int64(info.Duration),
+			TierBytes:  tb,
+			Migrations: r.result.Migrations - preMoves, MigratedBytes: r.result.MigratedBytes - preBytes,
+		})
+	}
 	r.epochIdx++
 	r.result.Epochs++
 	r.epochRefs = 0
@@ -116,6 +130,18 @@ func (r *runner) maybeEndEpoch(it int, iterBoundary bool) {
 	r.epochSamples = nil
 	r.epochTierBytes = make(map[mem.TierID]int64)
 	r.epochStart = r.now
+}
+
+// tierName resolves a tier ID to its machine-config name for event
+// payloads (events are rare; a linear scan over a handful of tiers is
+// fine).
+func (r *runner) tierName(id mem.TierID) string {
+	for _, t := range r.machine.Tiers {
+		if t.ID == id {
+			return t.Name
+		}
+	}
+	return "?"
 }
 
 // floorBytes sums the closing epoch's demand served by tiers slower

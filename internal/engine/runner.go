@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/callstack"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pebs"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -61,6 +62,13 @@ type Config struct {
 	// RefScale scales every Touch.Refs (0 = 1.0); used to shrink test
 	// runs.
 	RefScale float64
+	// Obs, when non-nil, receives the run's flight-recorder events
+	// (manifest, epoch boundaries). The hot access loop never touches
+	// it; nil disables tracing at zero cost.
+	Obs *obs.Recorder
+	// Tag annotates the run manifest with caller context the engine
+	// cannot know itself — typically the placement strategy name.
+	Tag string
 }
 
 // PhaseStat is the engine's ground-truth record of one phase execution.
@@ -128,6 +136,12 @@ type Result struct {
 	// PlacementFailures counts allocations the policy wanted in fast
 	// memory but could not fit.
 	PlacementFailures int64
+
+	// Metrics is the flight recorder's always-on counter snapshot:
+	// cheap int64 counters the simulation structures maintain anyway
+	// (page-table last-hit cache hits, refs simulated, arena reuse,
+	// alloc traffic), gathered once at the end of the run.
+	Metrics map[string]int64
 }
 
 // MonitorOverheadFraction returns monitoring overhead as a fraction of
@@ -335,6 +349,25 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 	}
 
 	hier.OnLLCMiss = r.onLLCMiss
+
+	if cfg.Obs != nil {
+		names := make([]string, len(cfg.Machine.Tiers))
+		for i, t := range cfg.Machine.Tiers {
+			names[i] = t.Name
+		}
+		cfg.Obs.EmitManifest(obs.Manifest{
+			Workload: w.Name,
+			Policy:   policy.Name(),
+			Strategy: cfg.Tag,
+			Machine:  obs.Fingerprint(cfg.Machine),
+			Tiers:    names,
+			Cores:    cores,
+			Seed:     cfg.Seed,
+			RefScale: cfg.RefScale,
+			ConfigFP: obs.Fingerprint(fmt.Sprintf("machine=%+v|cores=%d|seed=%d|refscale=%g|statics=%t|monitor=%+v|policy=%s|tag=%s",
+				cfg.Machine, cores, cfg.Seed, cfg.RefScale, cfg.StaticsInFast, cfg.Monitor, policy.Name(), cfg.Tag)),
+		})
+	}
 
 	if err := r.execute(); err != nil {
 		return nil, err
@@ -763,6 +796,40 @@ func (r *runner) finish() *Result {
 		r.tr.Meta["samples"] = fmt.Sprint(res.Samples)
 		r.tr.SortByTime()
 		res.Trace = r.tr
+	}
+
+	// Always-on counter snapshot. These are plain increments the
+	// allocator and page table maintain regardless of tracing; gathering
+	// them is one map build per run.
+	var refs int64
+	for _, ps := range res.PhaseStats {
+		refs += ps.Refs
+	}
+	var mallocs, frees, reuses, oomFailures int64
+	for _, k := range r.mk.Kinds() {
+		a := r.mk.Arena(k)
+		mallocs += a.Mallocs()
+		frees += a.Frees()
+		reuses += a.Reuses()
+		oomFailures += a.Failures()
+	}
+	res.Metrics = map[string]int64{
+		"refs_simulated":       refs,
+		"pagetable_last_hits":  r.space.PageTable().CoarseLastHits(),
+		"arena_mallocs":        mallocs,
+		"arena_frees":          frees,
+		"arena_reuses":         reuses,
+		"arena_failures":       oomFailures,
+		"alloc_calls":          res.AllocCalls,
+		"free_calls":           res.FreeCalls,
+		"llc_accesses":         res.LLCAccesses,
+		"llc_misses":           res.LLCMisses,
+		"pebs_samples":         res.Samples,
+		"epochs":               res.Epochs,
+		"migrations":           res.Migrations,
+		"migrated_bytes":       res.MigratedBytes,
+		"placement_failures":   res.PlacementFailures,
+		"pagetable_placements": r.space.PageTable().PlacedPages(),
 	}
 	return res
 }

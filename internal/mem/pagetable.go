@@ -33,8 +33,11 @@ type PageTable struct {
 	coarse []coarseRange // sorted by start, non-overlapping
 
 	// lastCoarse is the extent fast path: the index of the coarse range
-	// the previous lookup resolved to.
+	// the previous lookup resolved to; lastHits counts how often it
+	// short-circuits the binary search — a plain increment on the
+	// simulator's hottest lookup, snapshotted into Result.Metrics.
 	lastCoarse int
+	lastHits   int64
 
 	// entries counts live per-page overrides; placed breaks them out by
 	// tier (including overrides EQUAL to the default tier, which exist
@@ -94,6 +97,7 @@ func (pt *PageTable) SetCoarseRange(addr uint64, size int64, tier TierID) error 
 func (pt *PageTable) coarseTier(addr uint64) (TierID, bool) {
 	if i := pt.lastCoarse; i < len(pt.coarse) {
 		if c := &pt.coarse[i]; addr >= c.start && addr < c.end {
+			pt.lastHits++
 			return c.tier, true
 		}
 	}
@@ -239,14 +243,23 @@ func (pt *PageTable) PlacedBytes() map[TierID]int64 {
 	return out
 }
 
-// Reset drops all explicit placements, coarse and fine.
+// Reset drops all explicit placements, coarse and fine, and the
+// last-hit counter.
 func (pt *PageTable) Reset() {
 	pt.leaves = nil
 	pt.coarse = nil
 	pt.lastCoarse = 0
+	pt.lastHits = 0
 	pt.entries = 0
 	pt.placed = [256]int64{}
 }
+
+// CoarseLastHits returns how many coarse lookups the last-hit cache
+// served without a binary search.
+func (pt *PageTable) CoarseLastHits() int64 { return pt.lastHits }
+
+// PlacedPages returns the number of live per-page overrides.
+func (pt *PageTable) PlacedPages() int64 { return pt.entries }
 
 // Extent describes a contiguous run of pages on one tier.
 type Extent struct {

@@ -45,6 +45,7 @@ import (
 	"repro/internal/callstack"
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/units"
 )
@@ -112,6 +113,12 @@ type Options struct {
 
 	// Strategy packs the per-tier knapsacks (nil = advisor.DensityStrategy).
 	Strategy advisor.Strategy
+
+	// Obs, when non-nil, receives the placer's flight-recorder events:
+	// one gate ACCEPT/REJECT per evaluation (with idle vs contended
+	// cost), one per-tier budget/occupancy snapshot per epoch. nil
+	// disables tracing at zero cost.
+	Obs *obs.Recorder
 }
 
 func (o *Options) fill() {
@@ -581,6 +588,20 @@ func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
 	// controller the copy crosses.
 	p.demand, p.window = info.TierBytes, info.Duration
 
+	if o := p.opts.Obs; o != nil {
+		budgets := make(map[string]int64, len(p.budgets))
+		used := make(map[string]int64, len(p.usedBy))
+		for _, t := range p.tiers {
+			if b, ok := p.budgets[t.ID]; ok {
+				budgets[t.Name] = b
+			}
+			if u, ok := p.usedBy[t.ID]; ok && u != 0 {
+				used[t.Name] = u
+			}
+		}
+		o.EmitTierUsage(obs.TierUsageEvent{Epoch: info.Index, Budgets: budgets, Used: used})
+	}
+
 	var attributed int64
 	for _, s := range info.Samples {
 		p.stats.SamplesSeen++
@@ -675,7 +696,34 @@ func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
 		pairSamples[tierPair{oldOf(s), newOf(s)}] += float64(p.agg.EpochSamples(s))
 	}
 
-	if !p.gatePasses(info, pairSamples, moveCost) {
+	net, horizon := p.gateTerms(info, pairSamples)
+	pass := net*horizon > float64(moveCost)*p.opts.Hysteresis
+	if o := p.opts.Obs; o != nil {
+		// Price the same plan at idle bandwidth alongside the contended
+		// cost the gate actually used, so the trace shows how much the
+		// epoch's concurrent demand inflated this decision.
+		var idle units.Cycles
+		var moveBytes int64
+		for _, mv := range moves {
+			idle += mem.MigrationTime(&p.opts.Machine, p.opts.Cores, mv.Size, mv.From, mv.To)
+			moveBytes += mv.Size
+		}
+		decision := obs.DecisionReject
+		if pass {
+			decision = obs.DecisionAccept
+		}
+		ev := obs.GateEvent{
+			Epoch: info.Index, Decision: decision,
+			NetGain: net, Horizon: horizon, Hysteresis: p.opts.Hysteresis,
+			MoveCost: int64(moveCost), IdleCost: int64(idle),
+			Moves: len(moves), MoveBytes: moveBytes,
+		}
+		if idle > 0 {
+			ev.CostRatio = float64(moveCost) / float64(idle)
+		}
+		o.EmitGate(ev)
+	}
+	if !pass {
 		p.stats.GateRejected++
 		return nil
 	}
@@ -844,17 +892,25 @@ type tierPair struct{ from, to mem.TierID }
 // executes when that net gain, sustained over the horizon, exceeds the
 // pairwise migration cost with the hysteresis margin.
 func (p *Policy) gatePasses(info engine.EpochInfo, pairSamples map[tierPair]float64, moveCost units.Cycles) bool {
+	net, horizon := p.gateTerms(info, pairSamples)
+	return net*horizon > float64(moveCost)*p.opts.Hysteresis
+}
+
+// gateTerms computes the gate's two inputs — the predicted per-epoch
+// net gain of the plan and the amortization horizon — separately from
+// the comparison, so the flight recorder can report the exact numbers
+// each ACCEPT/REJECT was decided on.
+func (p *Policy) gateTerms(info engine.EpochInfo, pairSamples map[tierPair]float64) (net, horizon float64) {
 	m := &p.opts.Machine
 	period := float64(p.opts.SamplePeriod)
 
-	var net float64
 	for pr, samples := range pairSamples {
 		s := int64(samples + 0.5)
 		misses := int64(float64(s) * period)
 		net += predict.EpochDelta(m, p.opts.Cores, misses, pr.from, pr.to)
 	}
 
-	horizon := p.opts.HorizonEpochs
+	horizon = p.opts.HorizonEpochs
 	if p.opts.TotalEpochs > 0 {
 		rem := float64(p.opts.TotalEpochs - info.Index - 1)
 		switch {
@@ -867,5 +923,5 @@ func (p *Policy) gatePasses(info engine.EpochInfo, pairSamples map[tierPair]floa
 			horizon = rem
 		}
 	}
-	return net*horizon > float64(moveCost)*p.opts.Hysteresis
+	return net, horizon
 }

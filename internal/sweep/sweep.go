@@ -46,11 +46,14 @@ type promise[A any] struct {
 // For each cell, keyOf names the setup artifact it needs; the first
 // cell to claim a key computes setup once and every other cell with
 // that key blocks on (and then shares) the same artifact. point then
-// computes the cell's result from the artifact. Both callbacks must be
-// pure with respect to the cell index — given that, the returned slice
-// is bit-identical to the serial loop
+// computes the cell's result from the artifact; it also receives the
+// index of the pool worker executing the cell (0 on the serial path) —
+// observability data for the flight recorder's cell events, and
+// scheduling-dependent, so a pure point must not let it influence the
+// result. Both callbacks must be pure with respect to the cell index —
+// given that, the returned slice is bit-identical to the serial loop
 //
-//	for i := range n { results[i] = point(i, setup(i)) }
+//	for i := range n { results[i] = point(i, 0, setup(i)) }
 //
 // regardless of worker count or scheduling, which is what lets the
 // facade's determinism tests compare a parallel sweep against the
@@ -59,7 +62,7 @@ type promise[A any] struct {
 // A setup or point error fails its cell; Grid still runs the remaining
 // cells and returns the error of the LOWEST failed cell index (again
 // scheduling-independent) alongside the partial results.
-func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, error), point func(int, A) (R, error)) ([]R, error) {
+func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, error), point func(i, worker int, a A) (R, error)) ([]R, error) {
 	results := make([]R, n)
 	if n == 0 {
 		return results, nil
@@ -85,7 +88,7 @@ func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, err
 	}
 
 	errs := make([]error, n)
-	run := func(i int) {
+	run := func(i, worker int) {
 		var artifact A
 		if k := keyOf(i); k != "" {
 			p := claim(k)
@@ -96,7 +99,7 @@ func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, err
 			}
 			artifact = p.artifact
 		}
-		r, err := point(i, artifact)
+		r, err := point(i, worker, artifact)
 		if err != nil {
 			errs[i] = err
 			return
@@ -106,19 +109,19 @@ func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, err
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			run(i)
+			run(i, 0)
 		}
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for i := range idx {
-					run(i)
+					run(i, worker)
 				}
-			}()
+			}(w)
 		}
 		for i := 0; i < n; i++ {
 			idx <- i

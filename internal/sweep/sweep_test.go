@@ -20,7 +20,7 @@ func TestGridMemoizesSetupPerKey(t *testing.T) {
 					setups.Add(1)
 					return (i % 3) * 100, nil
 				},
-				func(i int, a int) (int, error) { return a + i, nil },
+				func(i, _ int, a int) (int, error) { return a + i, nil },
 			)
 			if err != nil {
 				t.Fatal(err)
@@ -45,7 +45,7 @@ func TestGridParallelMatchesSerial(t *testing.T) {
 		res, err := Grid(50, workers,
 			func(i int) Key { return Key(fmt.Sprintf("g%d", i%7)) },
 			func(i int) (int, error) { return i % 7, nil },
-			func(i int, a int) (int, error) { return a*1000 + i*i, nil },
+			func(i, _ int, a int) (int, error) { return a*1000 + i*i, nil },
 		)
 		if err != nil {
 			t.Fatal(err)
@@ -73,7 +73,7 @@ func TestGridEmptyKeySkipsSetup(t *testing.T) {
 			setups.Add(1)
 			return "boom", nil
 		},
-		func(i int, a string) (string, error) {
+		func(i, _ int, a string) (string, error) {
 			if a != "" {
 				return "", fmt.Errorf("got artifact %q for empty key", a)
 			}
@@ -99,7 +99,7 @@ func TestGridReportsLowestFailedCell(t *testing.T) {
 		results, err := Grid(10, workers,
 			func(i int) Key { return Key(fmt.Sprint(i)) },
 			func(i int) (int, error) { return i, nil },
-			func(i int, a int) (int, error) {
+			func(i, _ int, a int) (int, error) {
 				switch i {
 				case 3:
 					return 0, errLow
@@ -114,6 +114,37 @@ func TestGridReportsLowestFailedCell(t *testing.T) {
 		}
 		if results[9] != 9 {
 			t.Errorf("workers=%d: healthy cell lost: results[9] = %d", workers, results[9])
+		}
+	}
+}
+
+// TestGridWorkerIDs checks the observability contract of the worker
+// index handed to point: always 0 on the serial path, within the pool
+// bounds on the parallel path.
+func TestGridWorkerIDs(t *testing.T) {
+	collect := func(workers int) []int {
+		ids := make([]int, 20)
+		_, err := Grid(20, workers,
+			func(i int) Key { return "" },
+			func(i int) (int, error) { return 0, nil },
+			func(i, worker int, a int) (int, error) {
+				ids[i] = worker
+				return 0, nil
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+	for i, id := range collect(1) {
+		if id != 0 {
+			t.Errorf("serial: cell %d ran on worker %d, want 0", i, id)
+		}
+	}
+	for i, id := range collect(4) {
+		if id < 0 || id >= 4 {
+			t.Errorf("parallel: cell %d reports worker %d, want 0..3", i, id)
 		}
 	}
 }
@@ -136,7 +167,7 @@ func TestGridSetupErrorFailsAllSharers(t *testing.T) {
 			}
 			return 1, nil
 		},
-		func(i int, a int) (int, error) {
+		func(i, _ int, a int) (int, error) {
 			points.Add(1)
 			return a, nil
 		},

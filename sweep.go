@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -86,6 +87,18 @@ type SweepResult struct {
 type SweepOptions struct {
 	// Workers bounds the worker pool (0 = GOMAXPROCS; 1 = serial).
 	Workers int
+	// Obs, when non-nil, records the sweep as a deterministic event
+	// stream: each cell's run events are captured into a private
+	// buffered recorder while the cell executes on whatever worker the
+	// pool chose, then flushed in cell order once the grid completes,
+	// prefixed by a cell event carrying the cell's label, memo
+	// disposition and (scheduling-dependent, for observability only)
+	// worker id and wall time. The shared profiling runs themselves are
+	// not traced — their owner is scheduling-dependent — so the stream
+	// is byte-identical across worker counts except for the cell
+	// events' "worker" and "wall_ns" fields. Any Obs recorder set on a
+	// point's own config is replaced for the duration of the sweep.
+	Obs *FlightRecorder
 }
 
 // profiled is the memoized Stage 1+2 artifact of a pipeline cell.
@@ -147,6 +160,37 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		}
 		return profileKey(cfgs[i].Workload, cfgs[i].Pipeline)
 	}
+
+	// Tracing: every cell records into a private buffer, flushed in
+	// cell order after the grid returns. Memo dispositions are derived
+	// canonically from the key table — the FIRST cell index holding a
+	// key is the "miss" that pays for the profile, every later sharer a
+	// "hit" — rather than from whichever goroutine actually won the
+	// promise race, so the trace is scheduling-independent.
+	var cellObs []*obs.Recorder
+	var memo []string
+	var cellWorker []int
+	if opts.Obs != nil {
+		cellObs = make([]*obs.Recorder, len(cfgs))
+		memo = make([]string, len(cfgs))
+		cellWorker = make([]int, len(cfgs))
+		first := make(map[sweep.Key]int)
+		for i := range cfgs {
+			cellObs[i] = obs.NewBuffer()
+			k := keyOf(i)
+			if k == "" {
+				memo[i] = obs.MemoNone
+				continue
+			}
+			if _, ok := first[k]; ok {
+				memo[i] = obs.MemoHit
+			} else {
+				first[k] = i
+				memo[i] = obs.MemoMiss
+			}
+		}
+	}
+
 	setup := func(i int) (*profiled, error) {
 		p := cfgs[i]
 		start := time.Now()
@@ -154,8 +198,12 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		// this profiling key; name the error after the key's content —
 		// identical for all sharers — rather than after whichever
 		// cell's goroutine happened to run the setup, so diagnostics
-		// stay scheduling-independent.
-		tr, profRun, err := Profile(p.Workload, p.Pipeline.profileConfig())
+		// stay scheduling-independent. The profiling run is untraced
+		// for the same reason: its events would land in the buffer of
+		// whichever sharer's goroutine claimed the promise first.
+		pc := p.Pipeline.profileConfig()
+		pc.Obs = nil
+		tr, profRun, err := Profile(p.Workload, pc)
 		if err != nil {
 			return nil, fmt.Errorf("hybridmem: sweep %s (seed %d): profile stage: %w", p.Workload.Name, p.Pipeline.Seed, err)
 		}
@@ -165,13 +213,20 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		}
 		return &profiled{trace: tr, run: profRun, prof: prof, wall: time.Since(start)}, nil
 	}
-	point := func(i int, art *profiled) (SweepResult, error) {
+	point := func(i, worker int, art *profiled) (SweepResult, error) {
 		p := cfgs[i]
 		res := SweepResult{Label: p.Label}
+		if cellObs != nil {
+			cellWorker[i] = worker
+		}
 		start := time.Now()
 		switch {
 		case p.Pipeline != nil:
-			pr, err := adviseAndExecute(p.Workload, *p.Pipeline, art.trace, art.run, art.prof)
+			cfg := *p.Pipeline
+			if cellObs != nil {
+				cfg.Obs = cellObs[i]
+			}
+			pr, err := adviseAndExecute(p.Workload, cfg, art.trace, art.run, art.prof)
 			if err != nil {
 				return res, fmt.Errorf("hybridmem: sweep %q: %w", p.Label, err)
 			}
@@ -179,13 +234,21 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 			res.Run = pr.Run
 			res.ProfileWall = art.wall
 		case p.Baseline != nil:
-			r, err := RunBaseline(p.Workload, p.Baseline.Baseline, p.Baseline.Config)
+			bc := p.Baseline.Config
+			if cellObs != nil {
+				bc.Obs = cellObs[i]
+			}
+			r, err := RunBaseline(p.Workload, p.Baseline.Baseline, bc)
 			if err != nil {
 				return res, fmt.Errorf("hybridmem: sweep %q: %w", p.Label, err)
 			}
 			res.Run = r
 		default:
-			r, err := RunOnline(p.Workload, *p.Online)
+			oc := *p.Online
+			if cellObs != nil {
+				oc.Obs = cellObs[i]
+			}
+			r, err := RunOnline(p.Workload, oc)
 			if err != nil {
 				return res, fmt.Errorf("hybridmem: sweep %q: %w", p.Label, err)
 			}
@@ -195,7 +258,30 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		res.Refs = SimulatedRefs(res.Run)
 		return res, nil
 	}
-	return sweep.Grid(len(cfgs), opts.Workers, keyOf, setup, point)
+	results, err := sweep.Grid(len(cfgs), opts.Workers, keyOf, setup, point)
+	// Flush cell buffers in cell order even on a failed sweep — the
+	// partial trace is exactly what post-mortems want.
+	if opts.Obs != nil {
+		for i := range cfgs {
+			kind := "online"
+			switch {
+			case cfgs[i].Pipeline != nil:
+				kind = "pipeline"
+			case cfgs[i].Baseline != nil:
+				kind = "baseline"
+			}
+			opts.Obs.EmitCell(obs.CellEvent{
+				Cell:   i,
+				Label:  cfgs[i].Label,
+				Kind:   kind,
+				Memo:   memo[i],
+				Worker: cellWorker[i],
+				WallNS: results[i].Wall.Nanoseconds(),
+			})
+			cellObs[i].FlushTo(opts.Obs)
+		}
+	}
+	return results, err
 }
 
 // SimulatedRefs sums the memory references a run simulated — the
