@@ -261,6 +261,34 @@ func BenchmarkSweepFigure4Serial(b *testing.B) {
 	b.ReportMetric(fom, "FOM")
 }
 
+// BenchmarkOnlineEpochResolve measures the online placer's epoch
+// re-solve loop — the path the warm-start seam accelerates: every
+// epoch re-runs the waterfall over the live footprint, and epoch N's
+// sorted site order seeds epoch N+1's solve. The phaseshift workload
+// drives many epochs with a shifting hot set, so both the warm-hit
+// and the repack paths execute. Reported metrics come from the run's
+// always-on solver counters.
+func BenchmarkOnlineEpochResolve(b *testing.B) {
+	w, err := WorkloadByName("phaseshift")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := MachineFor(w)
+	var metrics map[string]int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunOnline(w, OnlineConfig{
+			Machine: m, Seed: 21, RefScale: 0.25, Budget: 64 * units.MB,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		metrics = res.Metrics
+	}
+	b.ReportMetric(float64(metrics["solver_resolves"]), "resolves")
+	b.ReportMetric(float64(metrics["solver_warm_hits"]), "warm-hits")
+	b.ReportMetric(float64(metrics["solver_objects_repacked"]), "repacked")
+}
+
 // --- Ablations ---
 
 // BenchmarkAblationKnapsackExactVsGreedy demonstrates why hmem_advisor

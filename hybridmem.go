@@ -865,17 +865,28 @@ func (cfg *PipelineConfig) profileConfig() ProfileConfig {
 // Pipeline and the sweep engine so a memoized-profile sweep cannot
 // drift from the serial path.
 func adviseAndExecute(w *Workload, cfg PipelineConfig, tr *Trace, profRun *RunResult, prof *ObjectProfile) (*PipelineResult, error) {
+	return adviseAndExecuteWarm(w, cfg, tr, profRun, prof, nil)
+}
+
+// adviseAndExecuteWarm is adviseAndExecute with the advisor's
+// incremental re-solve seam: the sweep engine passes the WarmState it
+// keeps per memoized profile, so adjacent budget/strategy cells reuse
+// each other's sorted orders and exact-solver floors. Warm-starting
+// only prunes — reports stay byte-identical to the cold path — so the
+// sweep's bit-identical-to-serial contract is untouched. The
+// time-aware advisors have no warm seam and always run cold.
+func adviseAndExecuteWarm(w *Workload, cfg PipelineConfig, tr *Trace, profRun *RunResult, prof *ObjectProfile, ws *advisor.WarmState) (*PipelineResult, error) {
 	var rep *PlacementReport
 	var err error
 	switch {
 	case cfg.Memory != nil && cfg.TimeAware:
 		rep, err = AdviseHierarchyTimeAware(prof, *cfg.Memory, cfg.Strategy)
 	case cfg.Memory != nil:
-		rep, err = AdviseHierarchyObserved(prof, *cfg.Memory, cfg.Strategy, cfg.Obs)
+		rep, err = advisor.AdviseWarm(prof.App, advisor.FromProfile(prof), *cfg.Memory, cfg.Strategy, ws, cfg.Obs)
 	case cfg.TimeAware:
 		rep, err = AdviseTimeAware(prof, cfg.Budget, cfg.Strategy)
 	default:
-		rep, err = AdviseObserved(prof, cfg.Budget, cfg.Strategy, cfg.Obs)
+		rep, err = advisor.AdviseWarm(prof.App, advisor.FromProfile(prof), advisor.TwoTier(cfg.Budget), cfg.Strategy, ws, cfg.Obs)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: advise stage: %w", err)

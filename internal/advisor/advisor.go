@@ -20,7 +20,6 @@ package advisor
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/callstack"
 	"repro/internal/paramedir"
@@ -63,20 +62,32 @@ func (s MissesStrategy) Name() string {
 	return fmt.Sprintf("misses(%g%%)", s.Threshold)
 }
 
+// missesLess is the strategy's total packing order: descending miss
+// count, ties broken by ascending ID so every pair of distinct
+// candidates is strictly ordered (the property sortWarm's adjacent-pair
+// verification relies on).
+func missesLess(a, b *Object) bool {
+	if a.Misses != b.Misses {
+		return a.Misses > b.Misses
+	}
+	return a.ID < b.ID
+}
+
 // Select implements Strategy.
 func (s MissesStrategy) Select(objs []Object, budget int64) []Object {
+	return s.SelectWarm(objs, budget, nil, "")
+}
+
+// SelectWarm implements WarmStrategy: identical selection to Select,
+// but the sorted order is cached in ws under slot and reused (after
+// verification) on the next solve of a similar instance.
+func (s MissesStrategy) SelectWarm(objs []Object, budget int64, ws *WarmState, slot string) []Object {
 	var total int64
 	for _, o := range objs {
 		total += o.Misses
 	}
 	cut := int64(s.Threshold / 100 * float64(total))
-	sorted := append([]Object(nil), objs...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Misses != sorted[j].Misses {
-			return sorted[i].Misses > sorted[j].Misses
-		}
-		return sorted[i].ID < sorted[j].ID
-	})
+	sorted := ws.sortWarm(s.Name()+"|"+slot, objs, missesLess)
 	return packGreedy(sorted, budget, func(o Object) bool {
 		return o.Misses > 0 && o.Misses >= cut
 	})
@@ -91,17 +102,25 @@ type DensityStrategy struct{}
 // Name implements Strategy.
 func (DensityStrategy) Name() string { return "density" }
 
+// densityLess is the strategy's total packing order: descending
+// misses-per-byte, ties broken by ascending ID.
+func densityLess(a, b *Object) bool {
+	da := float64(a.Misses) / float64(a.Size)
+	db := float64(b.Misses) / float64(b.Size)
+	if da != db {
+		return da > db
+	}
+	return a.ID < b.ID
+}
+
 // Select implements Strategy.
-func (DensityStrategy) Select(objs []Object, budget int64) []Object {
-	sorted := append([]Object(nil), objs...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		di := float64(sorted[i].Misses) / float64(sorted[i].Size)
-		dj := float64(sorted[j].Misses) / float64(sorted[j].Size)
-		if di != dj {
-			return di > dj
-		}
-		return sorted[i].ID < sorted[j].ID
-	})
+func (s DensityStrategy) Select(objs []Object, budget int64) []Object {
+	return s.SelectWarm(objs, budget, nil, "")
+}
+
+// SelectWarm implements WarmStrategy (see MissesStrategy.SelectWarm).
+func (s DensityStrategy) SelectWarm(objs []Object, budget int64, ws *WarmState, slot string) []Object {
+	sorted := ws.sortWarm(s.Name()+"|"+slot, objs, densityLess)
 	return packGreedy(sorted, budget, func(o Object) bool { return o.Misses > 0 })
 }
 

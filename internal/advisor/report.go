@@ -254,6 +254,17 @@ func Advise(app string, objs []Object, mc MemoryConfig, strat Strategy) (*Report
 // solver reports its search statistics (nodes explored, LP-bound
 // cutoffs, best objective). A nil recorder is exactly Advise.
 func AdviseObserved(app string, objs []Object, mc MemoryConfig, strat Strategy, rec *obs.Recorder) (*Report, error) {
+	return AdviseWarm(app, objs, mc, strat, nil, rec)
+}
+
+// AdviseWarm is AdviseObserved with the incremental re-solve seam: a
+// non-nil WarmState carries solver context (sorted orders, previous
+// exact assignments) between adjacent advises of the same profile —
+// the sweep's budget cells, the online placer's epochs. Warm-starting
+// only prunes work; the returned report is byte-identical to the cold
+// AdviseObserved of the same inputs. A nil WarmState is exactly
+// AdviseObserved.
+func AdviseWarm(app string, objs []Object, mc MemoryConfig, strat Strategy, ws *WarmState, rec *obs.Recorder) (*Report, error) {
 	if err := mc.Validate(); err != nil {
 		return nil, err
 	}
@@ -268,9 +279,10 @@ func AdviseObserved(app string, objs []Object, mc MemoryConfig, strat Strategy, 
 	// where the cascade below IS the exact problem and the strategy's
 	// one-knapsack seam reproduces the reference DP bit for bit.
 	if hs, ok := strat.(HierarchyStrategy); ok && !(len(tiers) == 2 && tiers[1].Name == def) {
-		return adviseHierarchyStrategy(app, objs, tiers, def, hs, rec)
+		return adviseHierarchyStrategy(app, objs, tiers, def, hs, ws, rec)
 	}
 
+	wstrat, warmable := strat.(WarmStrategy)
 	rep := &Report{App: app, Strategy: strat.Name(), Budget: tiers[0].Capacity}
 	var packed []TierBudget
 	remaining := append([]Object(nil), objs...)
@@ -282,7 +294,14 @@ func AdviseObserved(app string, objs []Object, mc MemoryConfig, strat Strategy, 
 			break
 		}
 		budget := ClampBudget(remaining, tier.Capacity)
-		chosen := strat.Select(remaining, budget)
+		var chosen []Object
+		if warmable && ws != nil {
+			// One order cache slot per waterfall knapsack: the tier name
+			// keys it, the strategy prefixes its own name inside.
+			chosen = wstrat.SelectWarm(remaining, budget, ws, tier.Name)
+		} else {
+			chosen = strat.Select(remaining, budget)
+		}
 		if err := checkSelectionFits(strat.Name(), tier.Name, chosen, budget); err != nil {
 			return nil, err
 		}
@@ -312,18 +331,22 @@ func AdviseObserved(app string, objs []Object, mc MemoryConfig, strat Strategy, 
 // calls, with identical report-shape rules — entries per non-default
 // tier in hierarchy order, default placements implicit, per-tier
 // budgets recorded for N-tier reports.
-func adviseHierarchyStrategy(app string, objs []Object, tiers []TierConfig, def string, hs HierarchyStrategy, rec *obs.Recorder) (*Report, error) {
+func adviseHierarchyStrategy(app string, objs []Object, tiers []TierConfig, def string, hs HierarchyStrategy, ws *WarmState, rec *obs.Recorder) (*Report, error) {
 	var sel map[string][]Object
 	var err error
-	if e, ok := hs.(ExactNTier); ok && rec != nil {
+	if e, ok := hs.(ExactNTier); ok && (rec != nil || ws != nil) {
 		// The stats-carrying solve is the same search; the recorder gets
-		// its progress numbers even when the node budget overruns.
+		// its progress numbers even when the node budget overruns, and a
+		// warm state seeds the floor / remembers the new assignment.
 		var st NTierSolveStats
-		sel, st, err = e.selectHierarchyStats(append([]Object(nil), objs...), tiers, def)
-		rec.EmitSolver(obs.SolverEvent{
-			Strategy: hs.Name(), Objects: len(objs), Tiers: len(tiers),
-			Nodes: st.Nodes, Pruned: st.Pruned, Best: st.Best, Overrun: st.Overrun,
-		})
+		sel, st, err = e.selectHierarchyWarm(append([]Object(nil), objs...), tiers, def, ws, "hierarchy")
+		if rec != nil {
+			rec.EmitSolver(obs.SolverEvent{
+				Strategy: hs.Name(), Objects: len(objs), Tiers: len(tiers),
+				Nodes: st.Nodes, Pruned: st.Pruned, Best: st.Best, Overrun: st.Overrun,
+				Warm: st.Warm, WarmPruned: st.WarmPruned,
+			})
+		}
 	} else {
 		sel, err = hs.SelectHierarchy(append([]Object(nil), objs...), tiers, def)
 	}

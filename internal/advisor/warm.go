@@ -1,0 +1,201 @@
+package advisor
+
+import (
+	"sort"
+	"sync"
+)
+
+// WarmState is the incremental re-solve seam: it carries what one
+// solve learned — the strategy's sorted object order, and the exact
+// solver's previous assignment (its achievable objective is the next
+// solve's lower bound) — so an adjacent solve (the next epoch of the
+// online placer, the next budget cell of a sweep) starts from it
+// instead of from scratch.
+//
+// The contract is that warm-starting may only PRUNE work, never change
+// a result: a warm solve returns byte-identical selections and reports
+// to the cold solve of the same instance. For the greedy waterfall
+// that holds by construction — a cached order is used only after an
+// O(n) verification that it is THE sorted order of the new instance
+// (the comparators are total, ties broken by ID, so the sorted order
+// is unique). For the branch-and-bound it holds because the previous
+// solution is injected only as a pruning floor strictly below its own
+// objective, never as the incumbent — see ExactNTier.
+//
+// A WarmState is safe for concurrent use (parallel sweep cells share
+// one per memoized profile); a nil *WarmState is valid everywhere and
+// means "cold".
+type WarmState struct {
+	mu     sync.Mutex
+	orders map[string][]string     // slot → object IDs in sorted order
+	sols   map[string]warmSolution // slot → previous joint assignment
+	stats  WarmStats
+}
+
+// warmSolution is one remembered exact-solver outcome: the non-default
+// tier of every assigned object (absent = default tier).
+type warmSolution struct {
+	tiers map[string]string
+}
+
+// WarmStats counts what the warm seam saved and churned.
+type WarmStats struct {
+	// OrderHits / OrderMisses count greedy solves that reused a cached
+	// sorted order vs. ones that had to cold-sort (first solve, object
+	// set changed, or scores crossed a packing boundary).
+	OrderHits   int64
+	OrderMisses int64
+	// FloorHits / FloorMisses count exact solves seeded with a feasible
+	// prior solution as pruning floor vs. ones solved from scratch.
+	FloorHits   int64
+	FloorMisses int64
+	// Repacked counts objects whose exact-solver tier changed relative
+	// to the previous remembered solution of the same slot.
+	Repacked int64
+}
+
+// NewWarmState returns an empty warm seam.
+func NewWarmState() *WarmState {
+	return &WarmState{
+		orders: make(map[string][]string),
+		sols:   make(map[string]warmSolution),
+	}
+}
+
+// Stats snapshots the counters. Nil-safe.
+func (ws *WarmState) Stats() WarmStats {
+	if ws == nil {
+		return WarmStats{}
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.stats
+}
+
+// WarmStrategy is the warm-start extension of Strategy: SelectWarm is
+// Select with a WarmState and a caller-chosen slot (one per knapsack —
+// the tier name in a waterfall cascade) under which the sorted order
+// is cached. SelectWarm(objs, budget, nil, "") is exactly Select.
+type WarmStrategy interface {
+	Strategy
+	SelectWarm(objs []Object, budget int64, ws *WarmState, slot string) []Object
+}
+
+// sortWarm returns objs in the (unique) order defined by less,
+// reusing the order cached under slot when it still applies. less must
+// be a total order — every pair of distinct candidates strictly
+// ordered, which the strategies guarantee by breaking ties on the
+// unique object ID — so "the previous permutation still satisfies
+// less on every adjacent pair" proves it IS the sorted order of the
+// new instance, making the reuse byte-identical to a cold sort at
+// O(n) instead of O(n log n).
+func (ws *WarmState) sortWarm(slot string, objs []Object, less func(a, b *Object) bool) []Object {
+	sorted := append([]Object(nil), objs...)
+	coldSort := func() {
+		sort.SliceStable(sorted, func(i, j int) bool { return less(&sorted[i], &sorted[j]) })
+	}
+	if ws == nil {
+		coldSort()
+		return sorted
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if prev, ok := ws.orders[slot]; ok && len(prev) == len(objs) {
+		byID := make(map[string]int, len(objs))
+		for i := range objs {
+			byID[objs[i].ID] = i
+		}
+		taken := make([]bool, len(objs))
+		valid := len(byID) == len(objs) // IDs must be unique for the proof
+		for i, id := range prev {
+			if !valid {
+				break
+			}
+			oi, found := byID[id]
+			if !found || taken[oi] {
+				valid = false
+				break
+			}
+			taken[oi] = true
+			sorted[i] = objs[oi]
+		}
+		if valid {
+			for i := 0; i+1 < len(sorted); i++ {
+				if less(&sorted[i+1], &sorted[i]) {
+					valid = false
+					break
+				}
+			}
+		}
+		if valid {
+			ws.stats.OrderHits++
+			return sorted
+		}
+		copy(sorted, objs) // restore input order before the cold sort
+	}
+	ws.stats.OrderMisses++
+	coldSort()
+	ids := make([]string, len(sorted))
+	for i := range sorted {
+		ids[i] = sorted[i].ID
+	}
+	ws.orders[slot] = ids
+	return sorted
+}
+
+// solution returns the remembered exact-solver assignment for slot
+// (nil if none). Nil-safe.
+func (ws *WarmState) solution(slot string) map[string]string {
+	if ws == nil {
+		return nil
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	sol, ok := ws.sols[slot]
+	if !ok {
+		return nil
+	}
+	// Copy out: the solver reads it outside the lock.
+	out := make(map[string]string, len(sol.tiers))
+	for k, v := range sol.tiers {
+		out[k] = v
+	}
+	return out
+}
+
+// noteSolution remembers an exact-solver assignment under slot and
+// counts how many objects moved relative to the previous one.
+func (ws *WarmState) noteSolution(slot string, tiers map[string]string) {
+	if ws == nil {
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if prev, ok := ws.sols[slot]; ok {
+		for id, t := range tiers {
+			if prev.tiers[id] != t {
+				ws.stats.Repacked++
+			}
+		}
+		for id := range prev.tiers {
+			if _, still := tiers[id]; !still {
+				ws.stats.Repacked++
+			}
+		}
+	}
+	ws.sols[slot] = warmSolution{tiers: tiers}
+}
+
+// countFloor tallies whether an exact solve could seed a floor.
+func (ws *WarmState) countFloor(hit bool) {
+	if ws == nil {
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if hit {
+		ws.stats.FloorHits++
+	} else {
+		ws.stats.FloorMisses++
+	}
+}

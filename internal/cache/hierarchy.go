@@ -54,6 +54,21 @@ type Hierarchy struct {
 	traffic   *mem.Traffic
 	hitCycles units.Cycles
 
+	// Run-length batching of the flat-mode miss path. Demand misses
+	// stream: consecutive LLC misses overwhelmingly fall on the same
+	// page (64 lines per page), so the hierarchy caches the last missed
+	// page's tier and accumulates the run's line count locally, paying
+	// one PageTable.TierOf plus one Traffic.AddBulk per run instead of
+	// one lookup and one counter add per miss. The cache is private to
+	// this hierarchy — one per simulated run, hence one per sweep
+	// worker — so parallel workers never share the page table's
+	// internal last-hit state; it invalidates on PageTable.Gen, which
+	// every placement mutation (migration, alloc, free) bumps.
+	runPage  uint64
+	runGen   uint64
+	runTier  mem.TierID
+	runLines int64
+
 	// OnLLCMiss, if set, observes every LLC miss (address included)
 	// before it is resolved against memory.
 	OnLLCMiss func(addr uint64)
@@ -130,9 +145,26 @@ func (h *Hierarchy) Access(addr uint64) Result {
 		h.traffic.Add(mem.TierMCDRAM, line)
 		return Result{Level: LevelMemory, Tier: mem.TierDDR}
 	}
+	page := addr / uint64(units.PageSize)
+	if h.runLines > 0 && page == h.runPage && h.runGen == h.pt.Gen() {
+		h.runLines++
+		return Result{Level: LevelMemory, Tier: h.runTier}
+	}
+	h.flushRun()
 	tier := h.pt.TierOf(addr)
-	h.traffic.Add(tier, line)
+	h.runPage, h.runGen, h.runTier, h.runLines = page, h.pt.Gen(), tier, 1
 	return Result{Level: LevelMemory, Tier: tier}
+}
+
+// flushRun books the batched miss run into the traffic accumulator.
+// Traffic.AddBulk(tier, n, line) is exactly n Traffic.Add(tier, line)
+// calls, so drained phase costs are bit-identical to the unbatched
+// path.
+func (h *Hierarchy) flushRun() {
+	if h.runLines > 0 {
+		h.traffic.AddBulk(h.runTier, h.runLines, h.machine.LineSize)
+		h.runLines = 0
+	}
 }
 
 // DrainPhase converts the traffic accumulated since the last drain into
@@ -142,6 +174,7 @@ func (h *Hierarchy) Access(addr uint64) Result {
 // conversion is mem.Traffic.MemoryTime, so tier distance (NUMA) and
 // the machine's TierOverlap combine the per-tier costs.
 func (h *Hierarchy) DrainPhase(cores int) units.Cycles {
+	h.flushRun()
 	c := h.traffic.MemoryTime(h.machine, cores) + h.hitCycles
 	h.traffic.Reset()
 	h.hitCycles = 0
@@ -149,7 +182,11 @@ func (h *Hierarchy) DrainPhase(cores int) units.Cycles {
 }
 
 // PendingTraffic exposes the not-yet-drained traffic (read-only use).
-func (h *Hierarchy) PendingTraffic() *mem.Traffic { return h.traffic }
+// The batched miss run is flushed first so the snapshot is complete.
+func (h *Hierarchy) PendingTraffic() *mem.Traffic {
+	h.flushRun()
+	return h.traffic
+}
 
 // LLCMisses returns cumulative LLC misses.
 func (h *Hierarchy) LLCMisses() int64 { return h.llc.Misses() }

@@ -30,6 +30,16 @@ type Policy interface {
 // program image. MakePolicy is invoked once per engine run.
 type PolicyFactory func(mk *alloc.Memkind, prog *callstack.Program) (Policy, error)
 
+// MetricsProvider is an optional Policy extension: a policy that keeps
+// its own always-on counters — the online placer's solver counters
+// (re-solves, warm-start hits, objects repacked) — exposes them here
+// and the engine merges the snapshot into Result.Metrics at the end of
+// the run. Keys should be prefixed to avoid colliding with the
+// engine's own counter names.
+type MetricsProvider interface {
+	MetricsSnapshot() map[string]int64
+}
+
 // baseMallocCycles is the cost of a regular malloc (glibc fast path,
 // ~1 µs at 1.4 GHz) charged by the engine for every allocation
 // regardless of policy.

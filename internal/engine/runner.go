@@ -183,7 +183,6 @@ type runner struct {
 	result  *Result
 
 	// Per-access context for the LLC miss hook.
-	curObject  string
 	curRoutine string
 
 	// Per-phase sample buffering for retroactive timestamping.
@@ -348,7 +347,14 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 		r.tr.Meta["cores"] = fmt.Sprint(cores)
 	}
 
-	hier.OnLLCMiss = r.onLLCMiss
+	// The per-miss hook exists only to feed samplers. Per-object miss
+	// attribution is batched per touch in runPhase (one map update per
+	// run of same-object references instead of one per miss), so runs
+	// without a monitor or epoch policy — most sweep cells — walk the
+	// access path with no callback at all.
+	if r.sampler != nil || r.epochSampler != nil {
+		hier.OnLLCMiss = r.onLLCMiss
+	}
 
 	if cfg.Obs != nil {
 		names := make([]string, len(cfg.Machine.Tiers))
@@ -425,8 +431,11 @@ func (r *runner) placeStaticsAndStack(fastCap int64) (int64, int64, error) {
 	return fastCap, defUsed, nil
 }
 
+// onLLCMiss taps the miss stream for the PEBS samplers. Object-level
+// miss attribution does NOT happen here: runPhase computes it from the
+// LLC miss counter delta around each touch, so the per-miss cost is a
+// countdown decrement, not a map update.
 func (r *runner) onLLCMiss(addr uint64) {
-	r.result.ObjectMisses[r.curObject]++
 	if r.sampler != nil {
 		if s, ok := r.sampler.Observe(addr, r.curRoutine); ok {
 			r.phaseSamples = append(r.phaseSamples, pendingSample{accessIdx: r.phaseRefIdx, sample: s})
@@ -654,8 +663,14 @@ func (r *runner) runPhase(ph *Phase, iter int) error {
 		if refs <= 0 {
 			continue
 		}
-		r.curObject = tc.Object
+		missesBefore := r.hier.LLCMisses()
 		r.generateAccesses(tc, lo, refs)
+		// Batched attribution: the whole touch is one run of references
+		// against one object, so its miss count is the LLC miss delta —
+		// one map update per run instead of one per miss.
+		if d := r.hier.LLCMisses() - missesBefore; d > 0 {
+			r.result.ObjectMisses[tc.Object] += d
+		}
 		totalRefs += refs
 	}
 
@@ -728,24 +743,36 @@ func (r *runner) generateAccesses(tc *Touch, lo *liveObject, refs int64) {
 		if stride < 64 {
 			stride = 64
 		}
-		for i := int64(0); i < refs; i++ {
-			r.hier.Access(base + uint64((i*stride)%span))
-			r.phaseRefIdx++
-		}
+		r.strideAccesses(base, stride, span, refs)
 	case Strided:
 		stride := tc.Stride
 		if stride <= 0 {
 			stride = 256
 		}
-		for i := int64(0); i < refs; i++ {
-			r.hier.Access(base + uint64((i*stride)%span))
-			r.phaseRefIdx++
-		}
+		r.strideAccesses(base, stride, span, refs)
 	case GatherRandom, PointerChase:
 		uspan := uint64(span)
 		for i := int64(0); i < refs; i++ {
 			r.hier.Access(base + (r.rng.Uint64n(uspan) &^ 7))
 			r.phaseRefIdx++
+		}
+	}
+}
+
+// strideAccesses issues refs strided references over [base, base+span),
+// wrapping at the span. The offset sequence is exactly (i*stride) mod
+// span, computed by accumulate-and-wrap: stride is reduced mod span
+// once, after which a compare-and-subtract replaces the per-reference
+// integer division the modulo would cost on the hottest loop.
+func (r *runner) strideAccesses(base uint64, stride, span, refs int64) {
+	step := stride % span
+	off := int64(0)
+	for i := int64(0); i < refs; i++ {
+		r.hier.Access(base + uint64(off))
+		r.phaseRefIdx++
+		off += step
+		if off >= span {
+			off -= span
 		}
 	}
 }
@@ -830,6 +857,11 @@ func (r *runner) finish() *Result {
 		"migrated_bytes":       res.MigratedBytes,
 		"placement_failures":   res.PlacementFailures,
 		"pagetable_placements": r.space.PageTable().PlacedPages(),
+	}
+	if mp, ok := r.policy.(MetricsProvider); ok {
+		for k, v := range mp.MetricsSnapshot() {
+			res.Metrics[k] = v
+		}
 	}
 	return res
 }

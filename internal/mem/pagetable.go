@@ -44,6 +44,13 @@ type PageTable struct {
 	// to shadow coarse ranges — see SetRange).
 	entries int64
 	placed  [256]int64
+
+	// gen counts placement mutations (SetRange, SetCoarseRange, Reset).
+	// External lookup caches — the per-accessor page→tier cache each
+	// cache.Hierarchy keeps so parallel sweep workers never share the
+	// table's internal last-hit state — compare it to invalidate: a
+	// cached (page, tier) pair is valid exactly while gen is unchanged.
+	gen uint64
 }
 
 const (
@@ -76,6 +83,7 @@ func (pt *PageTable) SetCoarseRange(addr uint64, size int64, tier TierID) error 
 		return fmt.Errorf("mem: coarse range size must be positive, got %d", size)
 	}
 	end := addr + uint64(size)
+	pt.gen++
 	for i := range pt.coarse {
 		c := &pt.coarse[i]
 		if addr == c.start && end == c.end {
@@ -159,6 +167,7 @@ func (pt *PageTable) SetRange(addr uint64, size int64, tier TierID) {
 	if size <= 0 {
 		return
 	}
+	pt.gen++
 	first := pageOf(addr)
 	last := pageOf(addr + uint64(size) - 1)
 	if tier != pt.def {
@@ -246,6 +255,7 @@ func (pt *PageTable) PlacedBytes() map[TierID]int64 {
 // Reset drops all explicit placements, coarse and fine, and the
 // last-hit counter.
 func (pt *PageTable) Reset() {
+	pt.gen++
 	pt.leaves = nil
 	pt.coarse = nil
 	pt.lastCoarse = 0
@@ -257,6 +267,11 @@ func (pt *PageTable) Reset() {
 // CoarseLastHits returns how many coarse lookups the last-hit cache
 // served without a binary search.
 func (pt *PageTable) CoarseLastHits() int64 { return pt.lastHits }
+
+// Gen returns the placement generation: it changes on every mutation,
+// so an external cache holding (page, tier, gen) may serve lookups for
+// the same page without re-walking the table while Gen is unchanged.
+func (pt *PageTable) Gen() uint64 { return pt.gen }
 
 // PlacedPages returns the number of live per-page overrides.
 func (pt *PageTable) PlacedPages() int64 { return pt.entries }

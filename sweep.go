@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/advisor"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
@@ -102,10 +103,17 @@ type SweepOptions struct {
 }
 
 // profiled is the memoized Stage 1+2 artifact of a pipeline cell.
+// warm travels with the artifact: every cell sharing the profile
+// advises over the SAME candidate set, so one cell's sorted order (and
+// the exact solver's previous assignment) warm-starts the next cell's
+// solve. Warm-starting only prunes — cell reports stay byte-identical
+// to cold solves — so sharing it across the worker pool cannot break
+// the sweep's bit-identical-to-serial contract.
 type profiled struct {
 	trace *Trace
 	run   *RunResult
 	prof  *ObjectProfile
+	warm  *advisor.WarmState
 	wall  time.Duration
 }
 
@@ -211,7 +219,7 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("hybridmem: sweep %s (seed %d): analyze stage: %w", p.Workload.Name, p.Pipeline.Seed, err)
 		}
-		return &profiled{trace: tr, run: profRun, prof: prof, wall: time.Since(start)}, nil
+		return &profiled{trace: tr, run: profRun, prof: prof, warm: advisor.NewWarmState(), wall: time.Since(start)}, nil
 	}
 	point := func(i, worker int, art *profiled) (SweepResult, error) {
 		p := cfgs[i]
@@ -226,7 +234,17 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 			if cellObs != nil {
 				cfg.Obs = cellObs[i]
 			}
-			pr, err := adviseAndExecute(p.Workload, cfg, art.trace, art.run, art.prof)
+			ws := art.warm
+			if _, hier := cfg.Strategy.(advisor.HierarchyStrategy); hier && cellObs != nil {
+				// A traced exact cell emits solver events whose node and
+				// prune counts depend on which sharer solved first —
+				// scheduling — so the incumbent sharing is disabled under
+				// tracing to keep the stream byte-identical across worker
+				// counts. Greedy cells emit no warm-dependent event data
+				// and stay warm either way.
+				ws = nil
+			}
+			pr, err := adviseAndExecuteWarm(p.Workload, cfg, art.trace, art.run, art.prof, ws)
 			if err != nil {
 				return res, fmt.Errorf("hybridmem: sweep %q: %w", p.Label, err)
 			}

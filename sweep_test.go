@@ -2,6 +2,7 @@ package hybridmem_test
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -163,6 +164,66 @@ func TestSweepRejectsMalformedPoints(t *testing.T) {
 	for _, p := range cases {
 		if _, err := hm.RunSweep([]hm.SweepPoint{p}, hm.SweepOptions{}); err == nil {
 			t.Errorf("point %q: RunSweep accepted a malformed point", p.Label)
+		}
+	}
+}
+
+// TestSweepWarmInvariantAcrossWorkers pins the warm-start contract at
+// the sweep seam: cells sharing a memoized profile also share a
+// WarmState, so which cell's solve warm-starts which depends entirely
+// on worker scheduling — and must therefore never show in results.
+// The grid mixes exact-solver and greedy cells over several budgets of
+// one N-tier profile (maximal warm sharing) and requires every run and
+// advisor report to be byte-identical across worker counts AND to the
+// serial (cold) Pipeline of the same cell.
+func TestSweepWarmInvariantAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep grids are not -short")
+	}
+	w := hm.NTierDemoWorkload()
+	m := hm.PerRankMachine(hm.KNLOptane(), w.Ranks, w.Threads)
+	var pts []hm.SweepPoint
+	for _, mb := range []int64{64, 128, 256} {
+		mc := hm.MemoryConfigFor(m, mb*units.MB)
+		for _, st := range []struct {
+			name string
+			s    hm.Strategy
+		}{{"exact", hm.StrategyExactNTier}, {"density", hm.StrategyDensity}} {
+			pts = append(pts, hm.PipelinePoint(fmt.Sprintf("%s-%dMB", st.name, mb), w, hm.PipelineConfig{
+				Machine: m, Seed: 42, Memory: &mc, Strategy: st.s, RefScale: 0.25,
+			}))
+		}
+	}
+
+	serial := make([]*hm.PipelineResult, len(pts))
+	for i, p := range pts {
+		pr, err := hm.Pipeline(p.Workload, *p.Pipeline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = pr
+	}
+
+	for _, workers := range []int{1, 4} {
+		res, err := hm.RunSweep(pts, hm.SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, p := range pts {
+			if !reflect.DeepEqual(res[i].Run, serial[i].Run) {
+				t.Errorf("workers=%d point %d (%s): run diverged from cold serial pipeline", workers, i, p.Label)
+			}
+			var a, b bytes.Buffer
+			if err := serial[i].Report.Write(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := res[i].Pipeline.Report.Write(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("workers=%d point %d (%s): warm report diverged from cold:\n--- cold ---\n%s\n--- warm ---\n%s",
+					workers, i, p.Label, a.String(), b.String())
+			}
 		}
 	}
 }
