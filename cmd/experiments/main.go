@@ -970,18 +970,28 @@ func benchSweep(path, only string, scale float64) {
 	// throughputs: unlike a pooled mean (total refs over total seconds),
 	// one repetition hit by a co-tenant burst or GC pause cannot drag
 	// the statistic — it just becomes an outlier the recorded spread
-	// exposes. Per-point detail comes from the median repetition.
+	// exposes. With three or more repetitions the single best and worst
+	// are dropped first: they are where co-tenant bursts land, and the
+	// recorded min/max/spread — which widens the -bench-compare gate —
+	// should describe the stable core of the sample, not its extremes.
+	// The full per-rep list is still recorded (RepNorms, in measurement
+	// order) so the trim is auditable. Per-point detail comes from the
+	// median repetition.
 	repNorms := make([]float64, len(reps))
 	for i, rm := range reps {
 		repNorms[i] = rm.norm
 	}
 	sort.Slice(reps, func(i, j int) bool { return reps[i].norm < reps[j].norm })
-	mid := reps[len(reps)/2] // median by normalized throughput
-	normAgg := mid.norm
-	if n := len(reps); n%2 == 0 {
-		normAgg = (reps[n/2-1].norm + reps[n/2].norm) / 2
+	trimmed := reps
+	if len(trimmed) >= 3 {
+		trimmed = trimmed[1 : len(trimmed)-1]
 	}
-	normMin, normMax := reps[0].norm, reps[len(reps)-1].norm
+	mid := trimmed[len(trimmed)/2] // median by normalized throughput
+	normAgg := mid.norm
+	if n := len(trimmed); n%2 == 0 {
+		normAgg = (trimmed[n/2-1].norm + trimmed[n/2].norm) / 2
+	}
+	normMin, normMax := trimmed[0].norm, trimmed[len(trimmed)-1].norm
 	calib := mid.calib
 	res, total := mid.res, mid.total
 

@@ -591,6 +591,12 @@ type ExecuteConfig struct {
 	RefScale float64
 	// Obs, when non-nil, records the run's manifest and epoch events.
 	Obs *FlightRecorder
+
+	// pool donates reusable simulator state across runs (sweep-only:
+	// RunSweep keeps one pool per worker). Pooled runs are
+	// bit-identical to unpooled ones, so the seam is not part of the
+	// public configuration surface.
+	pool *engine.Pool
 }
 
 // Execute is Stage 4: re-run w with auto-hbwmalloc honouring the
@@ -608,6 +614,7 @@ func Execute(w *Workload, rep *PlacementReport, opts InterposeOptions, cfg Execu
 		MakePolicy: interpose.Factory(rep, opts),
 		Obs:        cfg.Obs,
 		Tag:        tag,
+		Pool:       cfg.pool,
 	})
 }
 
@@ -658,6 +665,7 @@ func RunBaseline(w *Workload, b Baseline, cfg ExecuteConfig) (*RunResult, error)
 		RefScale: cfg.RefScale,
 		Obs:      cfg.Obs,
 		Tag:      b.String(),
+		Pool:     cfg.pool,
 	}
 	switch b {
 	case BaselineDDR:
@@ -673,7 +681,7 @@ func RunBaseline(w *Workload, b Baseline, cfg ExecuteConfig) (*RunResult, error)
 	case BaselineOnline:
 		return RunOnline(w, OnlineConfig{
 			Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
-			RefScale: cfg.RefScale, Obs: cfg.Obs,
+			RefScale: cfg.RefScale, Obs: cfg.Obs, pool: cfg.pool,
 		})
 	default:
 		return nil, fmt.Errorf("hybridmem: unknown baseline %v", b)
@@ -721,6 +729,10 @@ type OnlineConfig struct {
 	// plus the placer's per-epoch tier-usage snapshots and
 	// migration-gate ACCEPT/REJECT decisions.
 	Obs *FlightRecorder
+
+	// pool donates reusable simulator state across runs (sweep-only;
+	// see ExecuteConfig.pool).
+	pool *engine.Pool
 }
 
 // RunOnline executes w under the online adaptive placer. The result's
@@ -759,6 +771,7 @@ func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
 		RefScale: cfg.RefScale,
 		Obs:      cfg.Obs,
 		Tag:      tag,
+		Pool:     cfg.pool,
 		MakePolicy: online.Factory(online.Options{
 			Machine: cfg.Machine, Cores: cfg.Cores, Budget: budget,
 			Budgets:         cfg.Budgets,
@@ -801,6 +814,12 @@ type PipelineConfig struct {
 	// recorder (and skips the shared profiling run's events) so parallel
 	// sweep traces stay deterministic.
 	Obs *FlightRecorder
+
+	// pool donates reusable simulator state to the execute stage
+	// (sweep-only; see ExecuteConfig.pool). The profiling stage never
+	// pools: its artifact is shared across cells and its owner is
+	// scheduling-dependent.
+	pool *engine.Pool
 }
 
 // PipelineResult carries every stage's artifact.
@@ -895,7 +914,7 @@ func adviseAndExecuteWarm(w *Workload, cfg PipelineConfig, tr *Trace, profRun *R
 	// different ASLR layout — translation must bridge it.
 	res, err := Execute(w, rep, cfg.Interpose, ExecuteConfig{
 		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed + 0x9e37,
-		RefScale: cfg.RefScale, Obs: cfg.Obs,
+		RefScale: cfg.RefScale, Obs: cfg.Obs, pool: cfg.pool,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: execute stage: %w", err)

@@ -51,6 +51,21 @@ func NewArena(seg Segment) *Arena {
 	}
 }
 
+// Reset re-initializes the arena over seg, byte-for-byte equivalent to
+// NewArena(seg) except that the free-list slice and the live map keep
+// their capacity. Pooled sweep workers (engine.Pool) reuse one arena
+// per heap across the cells they execute instead of reallocating the
+// bookkeeping for every run.
+func (a *Arena) Reset(seg Segment) {
+	a.seg = seg
+	a.free = append(a.free[:0], freeBlock{addr: seg.Base, size: seg.Size})
+	clear(a.live)
+	a.used, a.hwm = 0, 0
+	a.nMalloc, a.nFree, a.nFailures = 0, 0, 0
+	a.frontier = seg.Base
+	a.nReuse = 0
+}
+
 func alignUp(n int64) int64 {
 	return (n + allocAlign - 1) &^ (allocAlign - 1)
 }

@@ -91,6 +91,19 @@ func NewMemkind(space *Space, ddrHeap, hbwHeap int64) (*Memkind, error) {
 // the default heap (what plain malloc serves from), the rest should be
 // listed in descending tier performance. Kind i addresses heaps[i].
 func NewMemkindHierarchy(space *Space, heaps []HeapSpec) (*Memkind, error) {
+	return NewMemkindHierarchyPooled(space, heaps, nil)
+}
+
+// NewMemkindHierarchyPooled is NewMemkindHierarchy with arena reuse:
+// prev — the facade of a completed earlier run, typically held by an
+// engine.Pool — donates its Arena objects index-for-index, each Reset
+// over the new run's segment so free-list slices and live maps keep
+// their capacity. Segments are still registered fresh in space (the
+// new run's page table needs the coarse ranges), and a reset arena is
+// byte-for-byte equivalent to a new one, so the pooled facade behaves
+// identically to an unpooled build. prev may be nil or have a
+// different heap count; only overlapping indices are reused.
+func NewMemkindHierarchyPooled(space *Space, heaps []HeapSpec, prev *Memkind) (*Memkind, error) {
 	if len(heaps) == 0 {
 		return nil, fmt.Errorf("alloc: memkind needs at least one heap")
 	}
@@ -113,7 +126,13 @@ func NewMemkindHierarchy(space *Space, heaps []HeapSpec) (*Memkind, error) {
 		if err != nil {
 			return nil, err
 		}
-		mk.arenas[k] = NewArena(seg)
+		if prev != nil && i < len(prev.arenas) {
+			a := prev.arenas[i]
+			a.Reset(seg)
+			mk.arenas[k] = a
+		} else {
+			mk.arenas[k] = NewArena(seg)
+		}
 		mk.order = append(mk.order, k)
 	}
 	mk.byPerf = append([]Kind(nil), mk.order...)

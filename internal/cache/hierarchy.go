@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/units"
+	"repro/internal/xrand"
 )
 
 // Level identifies where an access was satisfied.
@@ -55,23 +56,31 @@ type Hierarchy struct {
 	hitCycles units.Cycles
 
 	// Run-length batching of the flat-mode miss path. Demand misses
-	// stream: consecutive LLC misses overwhelmingly fall on the same
-	// page (64 lines per page), so the hierarchy caches the last missed
-	// page's tier and accumulates the run's line count locally, paying
-	// one PageTable.TierOf plus one Traffic.AddBulk per run instead of
-	// one lookup and one counter add per miss. The cache is private to
-	// this hierarchy — one per simulated run, hence one per sweep
-	// worker — so parallel workers never share the page table's
-	// internal last-hit state; it invalidates on PageTable.Gen, which
-	// every placement mutation (migration, alloc, free) bumps.
-	runPage  uint64
+	// stream: consecutive LLC misses overwhelmingly fall inside one
+	// constant-tier extent (a page for the per-reference Access path, a
+	// whole segment-or-promoted-range for the batched AccessRun path),
+	// so the hierarchy caches the last missed extent's tier and
+	// accumulates the run's line count locally, paying one page-table
+	// query plus one Traffic.AddBulk per run instead of one lookup and
+	// one counter add per miss. The cache is private to this hierarchy
+	// — one per simulated run, hence one per sweep worker — so parallel
+	// workers never share the page table's internal last-hit state; it
+	// invalidates on PageTable.Gen, which every placement mutation
+	// (migration, alloc, free) bumps.
+	runStart uint64
+	runEnd   uint64
 	runGen   uint64
 	runTier  mem.TierID
 	runLines int64
 
-	// OnLLCMiss, if set, observes every LLC miss (address included)
-	// before it is resolved against memory.
-	OnLLCMiss func(addr uint64)
+	// OnLLCMiss, if set, observes every LLC miss before it is resolved
+	// against memory. refIdx is the index of the missing reference
+	// within the current batched call (AccessRun/AccessRandomRun); a
+	// single Access always reports 0. Adding it to a running reference
+	// count reconstructs the per-reference stream position, which is
+	// how the engine keeps PEBS sample indices bit-identical to the
+	// unbatched path.
+	OnLLCMiss func(addr uint64, refIdx int64)
 }
 
 // NewHierarchy builds the hierarchy for machine. pt supplies the
@@ -125,7 +134,7 @@ func (h *Hierarchy) Access(addr uint64) Result {
 		return Result{Level: LevelLLC}
 	}
 	if h.OnLLCMiss != nil {
-		h.OnLLCMiss(addr)
+		h.OnLLCMiss(addr, 0)
 	}
 	line := h.machine.LineSize
 	if h.mcCache != nil {
@@ -134,26 +143,149 @@ func (h *Hierarchy) Access(addr uint64) Result {
 			h.traffic.Add(mem.TierMCDRAM, line)
 			return Result{Level: LevelMCDRAMCache, Tier: mem.TierMCDRAM}
 		}
-		// Miss: the demand line crosses DDR, plus ~0.5 lines of
+		// Miss: the demand line crosses DDR, plus a quarter line of
 		// average fill/writeback overhead (a cache-mode miss moves
 		// data DDR->MCDRAM and evicts a possibly dirty victim, so its
 		// effective DDR cost exceeds a flat-mode access — the reason
 		// cache mode loses to conscious flat placement in the paper).
-		// The fill write also consumes MCDRAM bandwidth.
+		// The fill write also consumes MCDRAM bandwidth. The exact
+		// charge — line + line/4 on DDR, line on MCDRAM — is pinned by
+		// TestCacheModeMissCharge.
 		h.traffic.Add(mem.TierDDR, line)
 		h.traffic.Add(mem.TierDDR, line/4)
 		h.traffic.Add(mem.TierMCDRAM, line)
 		return Result{Level: LevelMemory, Tier: mem.TierDDR}
 	}
-	page := addr / uint64(units.PageSize)
-	if h.runLines > 0 && page == h.runPage && h.runGen == h.pt.Gen() {
+	if h.runLines > 0 && addr >= h.runStart && addr < h.runEnd && h.runGen == h.pt.Gen() {
 		h.runLines++
 		return Result{Level: LevelMemory, Tier: h.runTier}
 	}
 	h.flushRun()
+	// The per-reference path keeps the original page-granular run: the
+	// containing page is the cheapest always-correct constant-tier
+	// extent (overrides are page-granular and coarse ranges only break
+	// pages at their byte-granular edges, which TierOf resolves per
+	// address anyway). The batched paths install wider TierExtent runs
+	// in the same cache; both validate by bounds+Gen, so they compose.
 	tier := h.pt.TierOf(addr)
-	h.runPage, h.runGen, h.runTier, h.runLines = page, h.pt.Gen(), tier, 1
+	start := addr / uint64(units.PageSize) * uint64(units.PageSize)
+	h.runStart, h.runEnd = start, start+uint64(units.PageSize)
+	h.runGen, h.runTier, h.runLines = h.pt.Gen(), tier, 1
 	return Result{Level: LevelMemory, Tier: tier}
+}
+
+// accessLine is the line-crossing slow path of the batched access
+// loops: one full L1→LLC→memory walk for the reference with index
+// refIdx inside the current batched call. It is Access minus the
+// Result plumbing, with the wide TierExtent run installed on the miss
+// path (the batched caller streams whole objects, so the page-granular
+// run of the per-reference path would re-query the table every page —
+// or, for strides wider than a page, every single miss).
+func (h *Hierarchy) accessLine(addr uint64, refIdx int64) {
+	if h.l1.Access(addr) {
+		h.hitCycles += h.machine.LLC.L1Hit
+		return
+	}
+	if h.llc.Access(addr) {
+		h.hitCycles += h.machine.LLC.HitCycles
+		return
+	}
+	if h.OnLLCMiss != nil {
+		h.OnLLCMiss(addr, refIdx)
+	}
+	line := h.machine.LineSize
+	if h.mcCache != nil {
+		// Cache mode: identical charges to Access (see there).
+		if h.mcCache.Access(addr) {
+			h.traffic.Add(mem.TierMCDRAM, line)
+			return
+		}
+		h.traffic.Add(mem.TierDDR, line)
+		h.traffic.Add(mem.TierDDR, line/4)
+		h.traffic.Add(mem.TierMCDRAM, line)
+		return
+	}
+	if h.runLines > 0 && addr >= h.runStart && addr < h.runEnd && h.runGen == h.pt.Gen() {
+		h.runLines++
+		return
+	}
+	h.flushRun()
+	tier, start, end := h.pt.TierExtent(addr)
+	h.runStart, h.runEnd = start, end
+	h.runGen, h.runTier, h.runLines = h.pt.Gen(), tier, 1
+}
+
+// AccessRun walks refs strided references over [base, base+span)
+// through the hierarchy, wrapping at the span — the batched equivalent
+// of calling Access(base + (i*stride)%span) for i in [0, refs). All
+// bookkeeping (hit cycles, cache hit/miss counters, per-tier traffic,
+// OnLLCMiss callbacks with intra-run indices) is bit-identical to the
+// per-reference loop; the batching only changes how it is computed:
+//
+//   - A reference falling in the SAME cache line as its predecessor is
+//     a deterministic L1 hit (the predecessor made that line MRU and
+//     nothing between them can evict it), so sub-line runs are counted
+//     locally and booked as one bulk hits += n / hitCycles += n*L1Hit
+//     pair at the end of the call.
+//   - Line-crossing references take the full walk, with misses batched
+//     per constant-tier extent (PageTable.TierExtent) instead of per
+//     page, so a stream over a segment pays one table query per run of
+//     same-tier misses even when the stride exceeds a page.
+func (h *Hierarchy) AccessRun(base uint64, stride, span, refs int64) {
+	if refs <= 0 || span <= 0 {
+		return
+	}
+	l1Shift := h.l1.lineShift
+	step := stride % span
+	off := int64(0)
+	lastLine := ^uint64(0) // sentinel: no previous reference
+	var sameLine int64
+	for i := int64(0); i < refs; i++ {
+		addr := base + uint64(off)
+		if line := addr >> l1Shift; line != lastLine {
+			h.accessLine(addr, i)
+			lastLine = line
+		} else {
+			sameLine++
+		}
+		off += step
+		if off >= span {
+			off -= span
+		}
+	}
+	if sameLine > 0 {
+		h.l1.addHits(sameLine)
+		h.hitCycles += units.Cycles(sameLine) * h.machine.LLC.L1Hit
+	}
+}
+
+// AccessRandomRun walks refs uniformly random 8-byte-aligned
+// references over [base, base+span) — the batched equivalent of the
+// engine's gather/pointer-chase loops. It consumes exactly one
+// rng.Uint64n(span) per reference, in order, so the random stream (and
+// with it every downstream counter) is bit-identical to the
+// per-reference loop it replaces.
+func (h *Hierarchy) AccessRandomRun(base uint64, span, refs int64, rng *xrand.RNG) {
+	if refs <= 0 || span <= 0 {
+		return
+	}
+	l1Shift := h.l1.lineShift
+	uspan := uint64(span)
+	lastLine := ^uint64(0)
+	var sameLine int64
+	for i := int64(0); i < refs; i++ {
+		addr := base + (rng.Uint64n(uspan) &^ 7)
+		if line := addr >> l1Shift; line != lastLine {
+			h.accessLine(addr, i)
+			lastLine = line
+		} else {
+			sameLine++
+		}
+	}
+	if sameLine > 0 {
+		h.l1.addHits(sameLine)
+		h.hitCycles += units.Cycles(sameLine) * h.machine.LLC.L1Hit
+	}
 }
 
 // flushRun books the batched miss run into the traffic accumulator.
@@ -181,11 +313,15 @@ func (h *Hierarchy) DrainPhase(cores int) units.Cycles {
 	return c
 }
 
-// PendingTraffic exposes the not-yet-drained traffic (read-only use).
+// PendingTraffic returns a snapshot of the not-yet-drained traffic.
 // The batched miss run is flushed first so the snapshot is complete.
+// The returned value is a copy — mutating it cannot corrupt the costs
+// DrainPhase will charge (mem.Traffic is two value arrays, so the
+// copy is deep; pinned by TestPendingTrafficIsSnapshot).
 func (h *Hierarchy) PendingTraffic() *mem.Traffic {
 	h.flushRun()
-	return h.traffic
+	snap := *h.traffic
+	return &snap
 }
 
 // LLCMisses returns cumulative LLC misses.
@@ -211,4 +347,42 @@ func (h *Hierarchy) ResetCaches() {
 	if h.mcCache != nil {
 		h.mcCache.Reset()
 	}
+}
+
+// Reuse rebinds the hierarchy to a new run's machine and page table,
+// resetting every piece of mutable state, provided the new machine
+// needs bit-identical cache structures (same L1/LLC geometry, same
+// line size, same mode, and in cache mode the same MCDRAM capacity).
+// It returns false — leaving the hierarchy untouched — when the
+// geometry differs and the caller must build a fresh Hierarchy. The
+// tag arrays are the dominant per-run allocation of a sweep cell
+// (megabytes for a cache-mode run), so pooled sweep workers reuse
+// them across the cells they execute; a reused hierarchy must be
+// indistinguishable from a new one, which is what the pooled-vs-fresh
+// sweep invariance tests pin.
+func (h *Hierarchy) Reuse(machine *mem.Machine, pt *mem.PageTable) bool {
+	if err := machine.Validate(); err != nil {
+		return false
+	}
+	if machine.LLC != h.machine.LLC || machine.LineSize != h.machine.LineSize || machine.Mode != h.machine.Mode {
+		return false
+	}
+	if machine.Mode == mem.CacheMode {
+		mc, ok := machine.Tier(mem.TierMCDRAM)
+		if !ok || h.mcCache == nil {
+			return false
+		}
+		prev, ok := h.machine.Tier(mem.TierMCDRAM)
+		if !ok || mc.Capacity != prev.Capacity {
+			return false
+		}
+	}
+	h.machine = machine
+	h.pt = pt
+	h.ResetCaches()
+	h.traffic.Reset()
+	h.hitCycles = 0
+	h.runStart, h.runEnd, h.runGen, h.runTier, h.runLines = 0, 0, 0, 0, 0
+	h.OnLLCMiss = nil
+	return true
 }

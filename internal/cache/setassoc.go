@@ -13,17 +13,38 @@ package cache
 import "fmt"
 
 // SetAssoc is a set-associative cache with true-LRU replacement.
+//
+// Recency is tracked per set as a packed permutation of way indices —
+// one nibble per way, most-recently-used in the low nibble — so a hit
+// reorders with a few shifts and a miss evicts the top nibble's way
+// with a single rotate, instead of memmove-shifting the tag array
+// itself on every access (the former hot spot of the whole simulator:
+// an MRU-ordered tag array pays an O(ways) copy per access). Tags are
+// therefore slot-indexed and never move once installed. The packed
+// form limits the fast path to 16 ways; wider caches (none of the
+// shipped machines) fall back to the classic MRU-ordered tag array.
 type SetAssoc struct {
 	name      string
 	lineShift uint
 	setMask   uint64
 	ways      int
 	// tags is sets*ways entries; tag 0 means empty, stored tags are
-	// line-number+1. Within a set, index 0 is most recently used.
+	// line-number+1. With order != nil entries are slot-indexed; in the
+	// wide-way fallback index 0 of a set is most recently used.
 	tags []uint64
+	// order holds one packed LRU word per set: ways nibbles, the way
+	// index of the MRU way in bits 0-3 up to the LRU way in the top
+	// nibble. nil when ways > 16 (fallback path).
+	order     []uint64
+	orderMask uint64 // low 4*ways bits
+	initOrder uint64 // identity permutation, the post-Reset state
 
 	hits, misses int64
 }
+
+// maxPackedWays is the widest associativity the packed LRU word can
+// express: 16 way indices of 4 bits fill a uint64 exactly.
+const maxPackedWays = 16
 
 // NewSetAssoc builds a cache of size bytes with the given associativity
 // and line size. size must be an exact multiple of ways*lineSize and
@@ -44,13 +65,24 @@ func NewSetAssoc(name string, size int64, ways int, lineSize int64) (*SetAssoc, 
 	for l := lineSize; l > 1; l >>= 1 {
 		shift++
 	}
-	return &SetAssoc{
+	c := &SetAssoc{
 		name:      name,
 		lineShift: shift,
 		setMask:   uint64(sets - 1),
 		ways:      ways,
 		tags:      make([]uint64, sets*int64(ways)),
-	}, nil
+	}
+	if ways <= maxPackedWays {
+		c.orderMask = ^uint64(0) >> (64 - 4*uint(ways))
+		for w := 0; w < ways; w++ {
+			c.initOrder |= uint64(w) << (4 * uint(w))
+		}
+		c.order = make([]uint64, sets)
+		for i := range c.order {
+			c.order[i] = c.initOrder
+		}
+	}
+	return c, nil
 }
 
 // Access looks addr up, updating LRU state and installing the line on a
@@ -61,21 +93,63 @@ func (c *SetAssoc) Access(addr uint64) bool {
 	base := int(set) * c.ways
 	tag := line + 1
 	ts := c.tags[base : base+c.ways]
+	if c.order == nil {
+		return c.accessWide(ts, tag)
+	}
+	ord := c.order[set]
+	// MRU fast path: consecutive hits to a hot line skip the scan and
+	// leave the order word untouched.
+	if ts[ord&0xf] == tag {
+		c.hits++
+		return true
+	}
+	for w, t := range ts {
+		if t == tag {
+			// Splice way w out of its nibble position and reinsert it
+			// at the MRU (low) end.
+			pos := 1
+			for o := ord >> 4; o&0xf != uint64(w); o >>= 4 {
+				pos++
+			}
+			low := ord & (uint64(1)<<(4*uint(pos)) - 1)
+			high := ord &^ (uint64(1)<<(4*uint(pos+1)) - 1)
+			c.order[set] = high | low<<4 | uint64(w)
+			c.hits++
+			return true
+		}
+	}
+	// Miss: the LRU way sits in the top nibble; install there and
+	// rotate it to the MRU end.
+	victim := ord >> (4 * uint(c.ways-1))
+	ts[victim] = tag
+	c.order[set] = (ord<<4 | victim) & c.orderMask
+	c.misses++
+	return false
+}
+
+// accessWide is the ways>16 fallback: an MRU-ordered tag array shifted
+// with copy, exactly the pre-packed-LRU implementation.
+func (c *SetAssoc) accessWide(ts []uint64, tag uint64) bool {
 	for i, t := range ts {
 		if t == tag {
-			// Move to front (most recently used).
 			copy(ts[1:i+1], ts[:i])
 			ts[0] = tag
 			c.hits++
 			return true
 		}
 	}
-	// Miss: evict LRU (last slot) by shifting.
 	copy(ts[1:], ts[:c.ways-1])
 	ts[0] = tag
 	c.misses++
 	return false
 }
+
+// addHits books n deterministic hits in bulk — the hierarchy's run
+// batching proves a reference hits the MRU line (same line as the
+// immediately preceding reference) without touching the set: such a
+// hit would find its tag at the MRU position and leave the LRU order
+// unchanged, so counting it is the only state change.
+func (c *SetAssoc) addHits(n int64) { c.hits += n }
 
 // Contains reports whether addr is resident without touching LRU state
 // or statistics.
@@ -105,6 +179,9 @@ func (c *SetAssoc) Accesses() int64 { return c.hits + c.misses }
 func (c *SetAssoc) Reset() {
 	for i := range c.tags {
 		c.tags[i] = 0
+	}
+	for i := range c.order {
+		c.order[i] = c.initOrder
 	}
 	c.hits, c.misses = 0, 0
 }

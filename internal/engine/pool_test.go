@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+// TestPooledRunMatchesFresh pins the Pool contract: a run handed a
+// pool that previously executed OTHER runs — different placements,
+// machines and modes — must produce a Result bit-identical to a fresh
+// unpooled run of the same configuration. The sequence deliberately
+// interleaves flat and cache-mode machines and a monitored run, the
+// mix one sweep worker actually sees.
+func TestPooledRunMatchesFresh(t *testing.T) {
+	flat := testMachine()
+	cacheMode := mem.WithCacheMode(flat)
+	bigger := testMachine()
+	bigger.LLC.Size = 512 * units.KB // different geometry: pool must rebuild
+
+	configs := []Config{
+		{Machine: flat, Cores: 4, Seed: 1, MakePolicy: ddrFactory()},
+		{Machine: flat, Cores: 4, Seed: 2, MakePolicy: manualFactory("allocHot")},
+		{Machine: cacheMode, Cores: 4, Seed: 3, MakePolicy: ddrFactory()},
+		{Machine: flat, Cores: 2, Seed: 4, MakePolicy: ddrFactory(),
+			Monitor: &MonitorConfig{SamplePeriod: 601, MinAllocSize: units.KB}},
+		{Machine: bigger, Cores: 4, Seed: 5, MakePolicy: manualFactory("allocCold")},
+		// Same shape as the first run: maximal reuse.
+		{Machine: flat, Cores: 4, Seed: 6, MakePolicy: ddrFactory()},
+	}
+
+	pool := NewPool()
+	for i, cfg := range configs {
+		fresh, err := Run(testWorkload(), cfg)
+		if err != nil {
+			t.Fatalf("config %d fresh run: %v", i, err)
+		}
+		cfg.Pool = pool
+		pooled, err := Run(testWorkload(), cfg)
+		if err != nil {
+			t.Fatalf("config %d pooled run: %v", i, err)
+		}
+		if !reflect.DeepEqual(fresh, pooled) {
+			t.Errorf("config %d: pooled result differs from fresh:\nfresh:  %+v\npooled: %+v", i, fresh, pooled)
+		}
+	}
+}
+
+// TestPoolReusesState verifies the pool actually recycles (the
+// equivalence test above would also pass for a pool that silently
+// rebuilt everything): after one run the pool holds state, and a
+// second same-shaped run hands back the same page table, hierarchy
+// and arena objects.
+func TestPoolReusesState(t *testing.T) {
+	pool := NewPool()
+	cfg := Config{Machine: testMachine(), Cores: 4, Seed: 1,
+		MakePolicy: ddrFactory(), Pool: pool}
+	if _, err := Run(testWorkload(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	pt, hier, mk := pool.pt, pool.flat, pool.mk
+	if pt == nil || hier == nil || mk == nil {
+		t.Fatal("pool empty after a pooled run")
+	}
+	if _, err := Run(testWorkload(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if pool.pt != pt || pool.flat != hier {
+		t.Error("same-shaped run rebuilt page table or hierarchy instead of reusing")
+	}
+	// The Memkind facade is rebuilt per run (it is cheap) but must
+	// donate its arenas forward.
+	if pool.mk == mk {
+		t.Error("memkind facade unexpectedly shared across runs")
+	}
+}
+
+// TestPooledResetZeroAllocs extends the hot-path allocation guards to
+// the pooled-cell reset path: re-arming recycled state for the next
+// sweep cell must not allocate — that is the point of the pool.
+func TestPooledResetZeroAllocs(t *testing.T) {
+	pt := mem.NewPageTable(mem.TierDDR)
+	pt.SetRange(0, 64*units.PageSize, mem.TierMCDRAM)
+	if allocs := testing.AllocsPerRun(100, func() {
+		pt.SetRange(0, 64*units.PageSize, mem.TierMCDRAM)
+		pt.ResetTo(mem.TierDDR)
+	}); allocs != 0 {
+		t.Errorf("PageTable.ResetTo allocates %.1f per reset", allocs)
+	}
+
+	seg := alloc.Segment{Name: "t", Base: 1 << 32, Size: 8 * units.MB, Tier: mem.TierDDR}
+	a := alloc.NewArena(seg)
+	if allocs := testing.AllocsPerRun(100, func() {
+		addr, _ := a.Malloc(units.MB)
+		_ = a.Free(addr)
+		a.Reset(seg)
+	}); allocs != 0 {
+		t.Errorf("Arena.Reset path allocates %.1f per cycle", allocs)
+	}
+}

@@ -69,6 +69,12 @@ type Config struct {
 	// Tag annotates the run manifest with caller context the engine
 	// cannot know itself — typically the placement strategy name.
 	Tag string
+	// Pool, when non-nil, donates reusable simulator state (page
+	// table, cache hierarchy, allocator arenas) from earlier runs and
+	// receives this run's for later ones. Results are bit-identical
+	// with or without it; sweeps keep one pool per worker. A Pool must
+	// never be shared by concurrent runs.
+	Pool *Pool
 }
 
 // PhaseStat is the engine's ground-truth record of one phase execution.
@@ -238,7 +244,7 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 	// the raw hierarchy.
 	defTier := cfg.Machine.DefaultTier()
 	fastTier := cfg.Machine.NearFastestTier()
-	pt := mem.NewPageTable(defTier.ID)
+	pt := cfg.Pool.pageTable(defTier.ID)
 	space := alloc.NewSpace(pt)
 
 	r := &runner{
@@ -298,13 +304,13 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 			Tier: t, Size: size, Perf: cfg.Machine.EffectivePerf(t),
 		})
 	}
-	mk, err := alloc.NewMemkindHierarchy(space, heaps)
+	mk, err := cfg.Pool.memkind(space, heaps)
 	if err != nil {
 		return nil, err
 	}
 	r.mk = mk
 
-	hier, err := cache.NewHierarchy(&r.machine, pt)
+	hier, err := cfg.Pool.hierarchy(&r.machine, pt)
 	if err != nil {
 		return nil, err
 	}
@@ -434,11 +440,15 @@ func (r *runner) placeStaticsAndStack(fastCap int64) (int64, int64, error) {
 // onLLCMiss taps the miss stream for the PEBS samplers. Object-level
 // miss attribution does NOT happen here: runPhase computes it from the
 // LLC miss counter delta around each touch, so the per-miss cost is a
-// countdown decrement, not a map update.
-func (r *runner) onLLCMiss(addr uint64) {
+// countdown decrement, not a map update. refIdx is the missing
+// reference's index within the hierarchy's current batched call;
+// phaseRefIdx holds the count of references issued by COMPLETED calls
+// of this phase, so their sum is the reference's phase-stream index —
+// the same value the per-reference path recorded.
+func (r *runner) onLLCMiss(addr uint64, refIdx int64) {
 	if r.sampler != nil {
 		if s, ok := r.sampler.Observe(addr, r.curRoutine); ok {
-			r.phaseSamples = append(r.phaseSamples, pendingSample{accessIdx: r.phaseRefIdx, sample: s})
+			r.phaseSamples = append(r.phaseSamples, pendingSample{accessIdx: r.phaseRefIdx + refIdx, sample: s})
 		}
 	}
 	if r.epochSampler != nil {
@@ -732,6 +742,13 @@ func (r *runner) generateAccesses(tc *Touch, lo *liveObject, refs int64) {
 		span = 64
 	}
 	base := lo.addr
+	// Whole touches are handed to the hierarchy as single batched runs
+	// (cache.Hierarchy.AccessRun / AccessRandomRun): the offset
+	// sequence, every counter and every PEBS callback are bit-identical
+	// to the former per-reference Access loop, but sub-line hit runs
+	// and same-tier miss runs are booked in bulk. phaseRefIdx advances
+	// by the whole run; the miss hook adds the intra-run index back
+	// (see onLLCMiss).
 	switch tc.Pattern {
 	case Sequential:
 		// Sequential models streaming the WHOLE object once per phase
@@ -743,37 +760,18 @@ func (r *runner) generateAccesses(tc *Touch, lo *liveObject, refs int64) {
 		if stride < 64 {
 			stride = 64
 		}
-		r.strideAccesses(base, stride, span, refs)
+		r.hier.AccessRun(base, stride, span, refs)
+		r.phaseRefIdx += refs
 	case Strided:
 		stride := tc.Stride
 		if stride <= 0 {
 			stride = 256
 		}
-		r.strideAccesses(base, stride, span, refs)
+		r.hier.AccessRun(base, stride, span, refs)
+		r.phaseRefIdx += refs
 	case GatherRandom, PointerChase:
-		uspan := uint64(span)
-		for i := int64(0); i < refs; i++ {
-			r.hier.Access(base + (r.rng.Uint64n(uspan) &^ 7))
-			r.phaseRefIdx++
-		}
-	}
-}
-
-// strideAccesses issues refs strided references over [base, base+span),
-// wrapping at the span. The offset sequence is exactly (i*stride) mod
-// span, computed by accumulate-and-wrap: stride is reduced mod span
-// once, after which a compare-and-subtract replaces the per-reference
-// integer division the modulo would cost on the hottest loop.
-func (r *runner) strideAccesses(base uint64, stride, span, refs int64) {
-	step := stride % span
-	off := int64(0)
-	for i := int64(0); i < refs; i++ {
-		r.hier.Access(base + uint64(off))
-		r.phaseRefIdx++
-		off += step
-		if off >= span {
-			off -= span
-		}
+		r.hier.AccessRandomRun(base, span, refs, r.rng)
+		r.phaseRefIdx += refs
 	}
 }
 

@@ -32,6 +32,26 @@ type PageTable struct {
 	leaves []*pageLeaf
 	coarse []coarseRange // sorted by start, non-overlapping
 
+	// entries counts live per-page overrides; placed breaks them out by
+	// tier (including overrides EQUAL to the default tier, which exist
+	// to shadow coarse ranges — see SetRange).
+	entries int64
+	placed  [256]int64
+
+	// The fields below are the table's write-hot mutable state: every
+	// TierOf that falls through to the coarse layer stores lastCoarse
+	// and bumps lastHits, and every placement mutation bumps gen, while
+	// def/leaves/coarse above are read-mostly once a run is set up. The
+	// pad keeps this mutable state on its own cache line(s): parallel
+	// sweep workers each own a private (pooled) PageTable, and the
+	// separation guarantees a worker hammering its own lookup counters
+	// never invalidates a line that also holds another allocation's
+	// read-mostly words. Per-worker sharding proper happens one level
+	// up — each cache.Hierarchy (one per sweep worker) keeps its own
+	// extent-run cache and consults Gen to invalidate it, so workers
+	// never contend on a shared table's last-hit state.
+	_ [64]byte
+
 	// lastCoarse is the extent fast path: the index of the coarse range
 	// the previous lookup resolved to; lastHits counts how often it
 	// short-circuits the binary search — a plain increment on the
@@ -39,17 +59,10 @@ type PageTable struct {
 	lastCoarse int
 	lastHits   int64
 
-	// entries counts live per-page overrides; placed breaks them out by
-	// tier (including overrides EQUAL to the default tier, which exist
-	// to shadow coarse ranges — see SetRange).
-	entries int64
-	placed  [256]int64
-
 	// gen counts placement mutations (SetRange, SetCoarseRange, Reset).
-	// External lookup caches — the per-accessor page→tier cache each
-	// cache.Hierarchy keeps so parallel sweep workers never share the
-	// table's internal last-hit state — compare it to invalidate: a
-	// cached (page, tier) pair is valid exactly while gen is unchanged.
+	// External lookup caches — the per-accessor extent→tier cache each
+	// cache.Hierarchy keeps — compare it to invalidate: a cached
+	// (extent, tier) pair is valid exactly while gen is unchanged.
 	gen uint64
 }
 
@@ -240,6 +253,119 @@ func (pt *PageTable) TierOf(addr uint64) TierID {
 	return pt.def
 }
 
+// maxExtentLeaves bounds the forward radix scan of one TierExtent
+// query to 4 leaves (64 MB of address space). Extents are computed
+// once per run of same-tier misses, so a capped (conservative) extent
+// only costs one extra query per 64 MB streamed — while an uncapped
+// scan over a multi-gigabyte promoted region would make a single
+// query arbitrarily expensive.
+const maxExtentLeaves = 4
+
+// TierExtent returns the tier serving addr together with a maximal-
+// within-bounds address extent [start, end) around addr over which
+// TierOf is constant: start <= addr < end, and every address in the
+// extent resolves to the same tier (at the current Gen). It is the
+// batch form of TierOf: the hierarchy's miss path queries it once per
+// run of same-tier misses and then serves every miss inside the
+// extent with two compares, instead of one TierOf per miss. Extents
+// are conservative — a scan cap or coarse-range boundary may end one
+// early — never wrong.
+func (pt *PageTable) TierExtent(addr uint64) (tier TierID, start, end uint64) {
+	p := pageOf(addr)
+	start = p * uint64(units.PageSize)
+	if pt.entries != 0 {
+		if li := p >> leafBits; li < uint64(len(pt.leaves)) {
+			if leaf := pt.leaves[li]; leaf != nil {
+				if v := leaf[p&leafMask]; v != 0 {
+					// Page override: the extent is the run of pages
+					// holding the same override value. Overrides are
+					// page-granular, so the whole containing page is in.
+					return TierID(v - 1), start, pt.overrideRunEnd(p, v)
+				}
+			}
+		}
+	}
+	// No override on addr's page: the tier comes from the coarse layer
+	// (or the default), and the extent is clipped by the nearest coarse
+	// boundary in each direction plus the first overridden page at or
+	// after p. Coarse ranges are byte-granular, so start/end may sit
+	// mid-page.
+	tier = pt.def
+	end = ^uint64(0)
+	if i := pt.coarseIndexFor(addr); i < len(pt.coarse) {
+		c := &pt.coarse[i]
+		if addr >= c.start {
+			tier = c.tier
+			end = c.end
+			if c.start > start {
+				start = c.start
+			}
+		} else {
+			// In the default-tier gap before range i.
+			end = c.start
+			if i > 0 && pt.coarse[i-1].end > start {
+				start = pt.coarse[i-1].end
+			}
+		}
+	} else if n := len(pt.coarse); n > 0 && pt.coarse[n-1].end > start {
+		start = pt.coarse[n-1].end
+	}
+	if pt.entries != 0 {
+		if oe := pt.cleanRunEnd(p); oe < end {
+			end = oe
+		}
+	}
+	return tier, start, end
+}
+
+// overrideRunEnd returns the first byte past the run of pages starting
+// at p whose override value equals v, scanning at most maxExtentLeaves
+// radix leaves.
+func (pt *PageTable) overrideRunEnd(p uint64, v uint16) uint64 {
+	q := p + 1
+	limit := ((p >> leafBits) + maxExtentLeaves) << leafBits
+	for q < limit {
+		li := q >> leafBits
+		if li >= uint64(len(pt.leaves)) {
+			break
+		}
+		leaf := pt.leaves[li]
+		if leaf == nil || leaf[q&leafMask] != v {
+			break
+		}
+		q++
+	}
+	return q * uint64(units.PageSize)
+}
+
+// cleanRunEnd returns the first byte of the first page at or after p+1
+// that carries ANY per-page override, scanning at most maxExtentLeaves
+// leaves (nil leaves are skipped wholesale). When no override can
+// exist beyond the scanned region it returns the unbounded sentinel.
+func (pt *PageTable) cleanRunEnd(p uint64) uint64 {
+	q := p + 1
+	maxLi := (p >> leafBits) + maxExtentLeaves
+	for {
+		li := q >> leafBits
+		if li >= uint64(len(pt.leaves)) {
+			// No leaf — and so no override — exists at or beyond q.
+			return ^uint64(0)
+		}
+		if li >= maxLi {
+			return q * uint64(units.PageSize)
+		}
+		leaf := pt.leaves[li]
+		if leaf == nil {
+			q = (li + 1) << leafBits
+			continue
+		}
+		if leaf[q&leafMask] != 0 {
+			return q * uint64(units.PageSize)
+		}
+		q++
+	}
+}
+
 // PlacedBytes returns, per tier, how many bytes of non-default pages
 // are currently mapped. Useful to audit that placement honoured budget.
 func (pt *PageTable) PlacedBytes() map[TierID]int64 {
@@ -253,11 +379,26 @@ func (pt *PageTable) PlacedBytes() map[TierID]int64 {
 }
 
 // Reset drops all explicit placements, coarse and fine, and the
-// last-hit counter.
+// last-hit counter. The radix leaves are zeroed in place rather than
+// released: a pooled table reused across sweep cells (engine.Pool)
+// keeps its leaf arrays warm instead of re-growing them every run.
 func (pt *PageTable) Reset() {
+	pt.ResetTo(pt.def)
+}
+
+// ResetTo is Reset with a new default tier — how a pooled PageTable is
+// rebound to the next run's machine.
+func (pt *PageTable) ResetTo(def TierID) {
 	pt.gen++
-	pt.leaves = nil
-	pt.coarse = nil
+	pt.def = def
+	if pt.entries != 0 {
+		for _, leaf := range pt.leaves {
+			if leaf != nil {
+				*leaf = pageLeaf{}
+			}
+		}
+	}
+	pt.coarse = pt.coarse[:0]
 	pt.lastCoarse = 0
 	pt.lastHits = 0
 	pt.entries = 0

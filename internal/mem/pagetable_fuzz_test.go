@@ -106,15 +106,40 @@ func (m *ptModel) placedBytes() map[TierID]int64 {
 	return out
 }
 
-// probeAgainstModel compares TierOf at the given probe addresses.
+// probeAgainstModel compares TierOf at the given probe addresses, then
+// validates the TierExtent contract at each: the extent must contain
+// the probe, report its tier, and hold a constant model tier across
+// its whole width (sampled at the ends, the midpoint, and the abutting
+// page boundaries — the places an off-by-one run scan would break).
 func probeAgainstModel(t *testing.T, pt *PageTable, m *ptModel, probes []uint64) {
 	t.Helper()
 	for _, a := range probes {
 		if a >= fuzzAddrSpace+uint64(fuzzMaxSize) {
 			continue
 		}
-		if got, want := pt.TierOf(a), m.tierOf(a); got != want {
+		want := m.tierOf(a)
+		if got := pt.TierOf(a); got != want {
 			t.Fatalf("TierOf(%#x) = %d, model says %d", a, got, want)
+		}
+		tier, start, end := pt.TierExtent(a)
+		if tier != want {
+			t.Fatalf("TierExtent(%#x) tier = %d, model says %d", a, tier, want)
+		}
+		if a < start || a >= end {
+			t.Fatalf("TierExtent(%#x) = [%#x, %#x): probe outside extent", a, start, end)
+		}
+		inner := []uint64{start, a, start + (end-start)/2}
+		if end != ^uint64(0) {
+			inner = append(inner, end-1)
+		}
+		if pg := (a &^ uint64(units.PageSize-1)) + uint64(units.PageSize); pg < end {
+			inner = append(inner, pg-1, pg)
+		}
+		for _, x := range inner {
+			if got := m.tierOf(x); got != tier {
+				t.Fatalf("TierExtent(%#x) = [%#x, %#x) tier %d, but model tier at %#x is %d",
+					a, start, end, tier, x, got)
+			}
 		}
 	}
 }

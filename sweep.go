@@ -18,9 +18,11 @@ package hybridmem
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
@@ -199,6 +201,24 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		}
 	}
 
+	// One simulator-state pool per worker: sweep.Grid hands point() the
+	// worker index that runs the cell, and no worker executes two cells
+	// concurrently, so each pool is single-threaded by construction.
+	// Pooled runs are bit-identical to unpooled ones (engine.Pool), so
+	// this cannot perturb the sweep's bit-identical-to-serial contract.
+	// The clamp mirrors sweep.Grid's so pools[worker] is always valid.
+	nWorkers := opts.Workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if nWorkers > len(cfgs) {
+		nWorkers = len(cfgs)
+	}
+	pools := make([]*engine.Pool, nWorkers)
+	for i := range pools {
+		pools[i] = engine.NewPool()
+	}
+
 	setup := func(i int) (*profiled, error) {
 		p := cfgs[i]
 		start := time.Now()
@@ -231,6 +251,7 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		switch {
 		case p.Pipeline != nil:
 			cfg := *p.Pipeline
+			cfg.pool = pools[worker]
 			if cellObs != nil {
 				cfg.Obs = cellObs[i]
 			}
@@ -253,6 +274,7 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 			res.ProfileWall = art.wall
 		case p.Baseline != nil:
 			bc := p.Baseline.Config
+			bc.pool = pools[worker]
 			if cellObs != nil {
 				bc.Obs = cellObs[i]
 			}
@@ -263,6 +285,7 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 			res.Run = r
 		default:
 			oc := *p.Online
+			oc.pool = pools[worker]
 			if cellObs != nil {
 				oc.Obs = cellObs[i]
 			}
