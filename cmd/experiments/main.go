@@ -137,6 +137,7 @@ func main() {
 	onl := flag.Bool("online", false, "compare static advisor vs online adaptive placement")
 	ntier := flag.Bool("ntier", false, "three-tier placement sweep on a KNL+Optane node")
 	numa := flag.Bool("numa", false, "topology-aware placement and contention-gated migration")
+	chaos := flag.Int64("chaos", -1, "run the self-verifying seeded fault-injection sweep under this chaos seed (-1 = off; not part of -all)")
 	all := flag.Bool("all", false, "regenerate everything")
 	app := flag.String("app", "", "restrict -fig 4 and -online to one application")
 	scale := flag.Float64("scale", 1.0, "access-volume scale factor")
@@ -224,6 +225,10 @@ func main() {
 	}
 	if *all || *numa {
 		numaTable(*scale)
+		any = true
+	}
+	if *chaos >= 0 {
+		chaosTable(uint64(*chaos), *scale)
 		any = true
 	}
 	if !any {

@@ -43,7 +43,8 @@ func main() {
 	in := flag.String("in", "", "input Paramedir CSV (required)")
 	out := flag.String("out", "", "output placement report (required)")
 	budget := flag.String("budget", "256M", "fast-memory budget (e.g. 128M, 16G)")
-	strategy := flag.String("strategy", "misses:0", "packing strategy: density | misses[:pct] | exact | exactdp | fcfs")
+	strategy := flag.String("strategy", "misses:0", "packing strategy: density | misses[:pct] | exact | exact-strict | exactdp | fcfs")
+	strict := flag.Bool("strict", false, "with -strategy exact: fail on solver node-limit instead of degrading to the density waterfall")
 	timeAware := flag.Bool("timeaware", false, "budget the peak concurrent footprint from the liveness timeline")
 	predictTrace := flag.String("predict", "", "trace file to predict the placement's speedup against (optional)")
 	app := flag.String("app", "", "workload name for -predict machine derivation (defaults to the profile's app)")
@@ -61,6 +62,9 @@ func main() {
 	strat, err := hm.StrategyByName(*strategy)
 	if err != nil {
 		fail(err)
+	}
+	if *strict && strat == hm.StrategyExactNTier {
+		strat = hm.StrategyExactStrict
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -107,6 +111,10 @@ func main() {
 	fmt.Printf("%s: strategy %s, budget %s: %d objects selected (%s promoted) -> %s\n",
 		rep.App, rep.Strategy, units.HumanBytes(rep.Budget), len(rep.Entries),
 		units.HumanBytes(rep.PromotedBytes()), *out)
+	if d := rep.Degraded; d != nil {
+		fmt.Printf("WARNING: exact solve degraded (%s after %d nodes): report carries the %s waterfall's placement, guaranteed >= %.3f of the optimal bound; rerun with -strict or a larger node budget for the exact answer\n",
+			d.Reason, d.Nodes, d.Fallback, d.RatioBound)
+	}
 	if adv := rep.StaticAdvice(); len(adv) > 0 {
 		fmt.Println("static objects worth promoting manually (the library cannot move them):")
 		for _, e := range adv {

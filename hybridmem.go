@@ -36,6 +36,7 @@
 package hybridmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/baseline"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/folding"
 	"repro/internal/interpose"
 	"repro/internal/mem"
@@ -166,8 +168,11 @@ var (
 // StrategyByName resolves a command-line strategy name — the one
 // grammar cmd/hmemadvisor and cmd/experiments share:
 //
-//	density | misses | misses:<pct> | exact | exact-dp | exactdp | fcfs
+//	density | misses | misses:<pct> | exact | exact-strict | exact-dp | exactdp | fcfs
 //
+// "exact-strict" is the exact solver with graceful degradation
+// disabled: a node-limit or deadline overrun is an error instead of a
+// fallback to the density waterfall (see PlacementReport.Degraded).
 // Unknown names and malformed misses thresholds are errors; in
 // particular "misses5" is rejected rather than silently parsed as a
 // 0% threshold.
@@ -177,6 +182,8 @@ func StrategyByName(name string) (Strategy, error) {
 		return StrategyDensity, nil
 	case "exact":
 		return StrategyExactNTier, nil
+	case "exact-strict":
+		return StrategyExactStrict, nil
 	case "exact-dp", "exactdp":
 		return StrategyExactDP, nil
 	case "fcfs":
@@ -397,6 +404,11 @@ type ProfileConfig struct {
 	RefScale float64
 	// Obs, when non-nil, records the run's manifest and epoch events.
 	Obs *FlightRecorder
+
+	// ctx, when non-nil, cancels the run at iteration/phase boundaries
+	// (set via ProfileCtx / PipelineCtx; not public so the context-free
+	// entry points stay the canonical zero-value API).
+	ctx context.Context
 }
 
 // DefaultScaledPeriod is the default PEBS period for the scaled
@@ -430,6 +442,7 @@ func Profile(w *Workload, cfg ProfileConfig) (*Trace, *RunResult, error) {
 		MakePolicy: baseline.DDR(),
 		RefScale:   cfg.RefScale,
 		Obs:        cfg.Obs,
+		Ctx:        cfg.ctx,
 		Tag:        "profile",
 		Monitor: &engine.MonitorConfig{
 			SamplePeriod: cfg.SamplePeriod,
@@ -458,6 +471,7 @@ func ProfileWithPolicy(w *Workload, cfg ProfileConfig, rep *PlacementReport) (*T
 		MakePolicy: interpose.Factory(rep, InterposeOptions{}),
 		RefScale:   cfg.RefScale,
 		Obs:        cfg.Obs,
+		Ctx:        cfg.ctx,
 		Tag:        tag,
 		Monitor: &engine.MonitorConfig{
 			SamplePeriod: cfg.SamplePeriod,
@@ -597,6 +611,12 @@ type ExecuteConfig struct {
 	// bit-identical to unpooled ones, so the seam is not part of the
 	// public configuration surface.
 	pool *engine.Pool
+	// ctx, when non-nil, cancels the run at iteration/phase boundaries
+	// (set via ExecuteCtx / the sweep engine).
+	ctx context.Context
+	// fault, when non-nil, arms the seeded chaos hooks inside the run
+	// (set by RunSweep from SweepOptions.Fault; nil costs nothing).
+	fault *faultinject.Injector
 }
 
 // Execute is Stage 4: re-run w with auto-hbwmalloc honouring the
@@ -613,6 +633,8 @@ func Execute(w *Workload, rep *PlacementReport, opts InterposeOptions, cfg Execu
 		RefScale:   cfg.RefScale,
 		MakePolicy: interpose.Factory(rep, opts),
 		Obs:        cfg.Obs,
+		Ctx:        cfg.ctx,
+		Fault:      cfg.fault,
 		Tag:        tag,
 		Pool:       cfg.pool,
 	})
@@ -664,6 +686,8 @@ func RunBaseline(w *Workload, b Baseline, cfg ExecuteConfig) (*RunResult, error)
 		Seed:     cfg.Seed,
 		RefScale: cfg.RefScale,
 		Obs:      cfg.Obs,
+		Ctx:      cfg.ctx,
+		Fault:    cfg.fault,
 		Tag:      b.String(),
 		Pool:     cfg.pool,
 	}
@@ -682,6 +706,7 @@ func RunBaseline(w *Workload, b Baseline, cfg ExecuteConfig) (*RunResult, error)
 		return RunOnline(w, OnlineConfig{
 			Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
 			RefScale: cfg.RefScale, Obs: cfg.Obs, pool: cfg.pool,
+			ctx: cfg.ctx, fault: cfg.fault,
 		})
 	default:
 		return nil, fmt.Errorf("hybridmem: unknown baseline %v", b)
@@ -733,6 +758,9 @@ type OnlineConfig struct {
 	// pool donates reusable simulator state across runs (sweep-only;
 	// see ExecuteConfig.pool).
 	pool *engine.Pool
+	// ctx / fault: cancellation and chaos seams; see ExecuteConfig.
+	ctx   context.Context
+	fault *faultinject.Injector
 }
 
 // RunOnline executes w under the online adaptive placer. The result's
@@ -770,6 +798,8 @@ func RunOnline(w *Workload, cfg OnlineConfig) (*RunResult, error) {
 		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
 		RefScale: cfg.RefScale,
 		Obs:      cfg.Obs,
+		Ctx:      cfg.ctx,
+		Fault:    cfg.fault,
 		Tag:      tag,
 		Pool:     cfg.pool,
 		MakePolicy: online.Factory(online.Options{
@@ -820,6 +850,15 @@ type PipelineConfig struct {
 	// pools: its artifact is shared across cells and its owner is
 	// scheduling-dependent.
 	pool *engine.Pool
+	// ctx, when non-nil, cancels every stage: the profiling and
+	// production runs poll it at iteration/phase boundaries and the
+	// exact solver every ~64k branch-and-bound nodes (set via
+	// PipelineCtx / RunSweepCtx).
+	ctx context.Context
+	// fault arms the chaos hooks of the execute stage only — the
+	// profiling artifact is shared across sweep cells, so injecting
+	// there is SweepSetup's job, not the engine hooks'.
+	fault *faultinject.Injector
 }
 
 // PipelineResult carries every stage's artifact.
@@ -876,7 +915,7 @@ func (cfg *PipelineConfig) profileConfig() ProfileConfig {
 	return ProfileConfig{
 		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed,
 		SamplePeriod: cfg.SamplePeriod, MinAllocSize: cfg.MinAllocSize,
-		RefScale: cfg.RefScale, Obs: cfg.Obs,
+		RefScale: cfg.RefScale, Obs: cfg.Obs, ctx: cfg.ctx,
 	}
 }
 
@@ -895,17 +934,32 @@ func adviseAndExecute(w *Workload, cfg PipelineConfig, tr *Trace, profRun *RunRe
 // sweep's bit-identical-to-serial contract is untouched. The
 // time-aware advisors have no warm seam and always run cold.
 func adviseAndExecuteWarm(w *Workload, cfg PipelineConfig, tr *Trace, profRun *RunResult, prof *ObjectProfile, ws *advisor.WarmState) (*PipelineResult, error) {
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	strat := cfg.Strategy
+	// Chaos seam: solver starvation clamps the exact solver's node
+	// budget so it hits its limit and exercises the degradation ladder.
+	// Consulted only for exact cells — the budget is meaningless to the
+	// greedy strategies and the consult itself is tallied.
+	if e, ok := strat.(advisor.ExactNTier); ok {
+		if b := cfg.fault.SolverNodeBudget(); b > 0 && (e.MaxNodes == 0 || b < e.MaxNodes) {
+			e.MaxNodes = b
+			strat = e
+		}
+	}
 	var rep *PlacementReport
 	var err error
 	switch {
 	case cfg.Memory != nil && cfg.TimeAware:
-		rep, err = AdviseHierarchyTimeAware(prof, *cfg.Memory, cfg.Strategy)
+		rep, err = AdviseHierarchyTimeAware(prof, *cfg.Memory, strat)
 	case cfg.Memory != nil:
-		rep, err = advisor.AdviseWarm(prof.App, advisor.FromProfile(prof), *cfg.Memory, cfg.Strategy, ws, cfg.Obs)
+		rep, err = advisor.AdviseWarmCtx(ctx, prof.App, advisor.FromProfile(prof), *cfg.Memory, strat, ws, cfg.Obs)
 	case cfg.TimeAware:
-		rep, err = AdviseTimeAware(prof, cfg.Budget, cfg.Strategy)
+		rep, err = AdviseTimeAware(prof, cfg.Budget, strat)
 	default:
-		rep, err = advisor.AdviseWarm(prof.App, advisor.FromProfile(prof), advisor.TwoTier(cfg.Budget), cfg.Strategy, ws, cfg.Obs)
+		rep, err = advisor.AdviseWarmCtx(ctx, prof.App, advisor.FromProfile(prof), advisor.TwoTier(cfg.Budget), strat, ws, cfg.Obs)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: advise stage: %w", err)
@@ -915,6 +969,7 @@ func adviseAndExecuteWarm(w *Workload, cfg PipelineConfig, tr *Trace, profRun *R
 	res, err := Execute(w, rep, cfg.Interpose, ExecuteConfig{
 		Machine: cfg.Machine, Cores: cfg.Cores, Seed: cfg.Seed + 0x9e37,
 		RefScale: cfg.RefScale, Obs: cfg.Obs, pool: cfg.pool,
+		ctx: cfg.ctx, fault: cfg.fault,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hybridmem: execute stage: %w", err)

@@ -1,12 +1,20 @@
 package advisor
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/runerr"
 	"repro/internal/units"
 )
+
+// ErrNodeLimit is the typed sentinel wrapped by the exact solver's
+// node-budget overrun, so callers can branch on it with errors.Is —
+// the degradation ladder in adviseHierarchyStrategy does exactly that.
+var ErrNodeLimit = errors.New("advisor: exact solver node limit")
 
 // This file implements the ROADMAP's "ILP solver strategy": an exact
 // N-tier placement solver that anchors the waterfall the way ExactDP
@@ -73,9 +81,17 @@ const DefaultMaxNodes = 4 << 20
 // moved off the default tier and consume no budget.
 type ExactNTier struct {
 	// MaxNodes bounds the branch-and-bound search (0 = DefaultMaxNodes).
-	// When the bound is hit the solver returns an error rather than
-	// silently degrading to a heuristic — an oracle must not lie.
+	// When the bound is hit the solver returns ErrNodeLimit; the
+	// advise layer then degrades to the greedy waterfall and stamps
+	// the report with a Degraded marker — an oracle must not lie, so
+	// the marker (not the strategy label) is the honesty mechanism.
 	MaxNodes int64
+
+	// Strict disables graceful degradation: a node-limit or deadline
+	// overrun surfaces as an error instead of a Degraded greedy
+	// report. The property suite runs strict — an oracle answer there
+	// must be exact or absent.
+	Strict bool
 }
 
 // Name implements Strategy.
@@ -102,7 +118,10 @@ type nTierCand struct {
 // bound solve: nodes explored, subtrees cut by the LP-relaxation
 // bound, and the best objective found. Warm reports whether the solve
 // was seeded with a feasible prior solution, and WarmPruned counts the
-// subtrees that seed's floor cut (a subset of Pruned).
+// subtrees that seed's floor cut (a subset of Pruned). RootBound is
+// the LP-relaxation bound of the whole instance — an upper bound on
+// the true optimum, valid even when the search overran, which is what
+// lets a degraded report carry a guaranteed objective-ratio bound.
 type NTierSolveStats struct {
 	Nodes      int64
 	Pruned     int64
@@ -110,6 +129,7 @@ type NTierSolveStats struct {
 	Overrun    bool
 	Warm       bool
 	WarmPruned int64
+	RootBound  float64
 }
 
 // SelectHierarchy implements HierarchyStrategy: branch-and-bound over
@@ -143,6 +163,16 @@ func (e ExactNTier) selectHierarchyStats(objs []Object, tiers []TierConfig, def 
 // factors these instances carry (and is pinned by the equivalence
 // property test).
 func (e ExactNTier) selectHierarchyWarm(objs []Object, tiers []TierConfig, def string, ws *WarmState, slot string) (map[string][]Object, NTierSolveStats, error) {
+	return e.selectHierarchyWarmCtx(context.Background(), objs, tiers, def, ws, slot)
+}
+
+// selectHierarchyWarmCtx is the cancelable core. The DFS polls ctx
+// every ~64k nodes — cheap against the per-node bound computation —
+// and stops the search on cancellation or deadline. A deadline is
+// reported as a runerr.ErrCanceled wrapping context.DeadlineExceeded,
+// which the advise layer may treat as degradable exactly like a node
+// limit; a plain cancellation always propagates.
+func (e ExactNTier) selectHierarchyWarmCtx(ctx context.Context, objs []Object, tiers []TierConfig, def string, ws *WarmState, slot string) (map[string][]Object, NTierSolveStats, error) {
 	if len(tiers) < 2 {
 		return nil, NTierSolveStats{}, fmt.Errorf("advisor: exact solver needs at least two tiers, got %d", len(tiers))
 	}
@@ -214,7 +244,7 @@ func (e ExactNTier) selectHierarchyWarm(objs []Object, tiers []TierConfig, def s
 	rem := append([]int64(nil), caps...)
 	scratch := make([]int64, len(tiers))
 	var nodes, pruned, warmPruned int64
-	var overrun bool
+	var overrun, canceled bool
 
 	// Warm floor: replay the previous solve's assignment onto the new
 	// instance (objects it no longer knows stay on the default, tiers it
@@ -284,11 +314,15 @@ func (e ExactNTier) selectHierarchyWarm(objs []Object, tiers []TierConfig, def s
 
 	var dfs func(k int, cur float64)
 	dfs = func(k int, cur float64) {
-		if overrun {
+		if overrun || canceled {
 			return
 		}
 		if nodes++; nodes > maxNodes {
 			overrun = true
+			return
+		}
+		if nodes&0xFFFF == 0 && ctx.Err() != nil {
+			canceled = true
 			return
 		}
 		if k == n {
@@ -324,14 +358,27 @@ func (e ExactNTier) selectHierarchyWarm(objs []Object, tiers []TierConfig, def s
 			rem[t] += cands[k].pages
 		}
 	}
-	dfs(0, 0)
-	stats := NTierSolveStats{Nodes: nodes, Pruned: pruned, Overrun: overrun, Warm: haveFloor, WarmPruned: warmPruned}
+	rootBound := bound(0)
+	// An already-done context cancels before the search starts — the
+	// in-search poll only fires every ~64k nodes, far more than a small
+	// instance ever explores, so without this check a pre-expired
+	// deadline would be honoured only on large instances.
+	if ctx.Err() != nil {
+		canceled = true
+	} else {
+		dfs(0, 0)
+	}
+	stats := NTierSolveStats{Nodes: nodes, Pruned: pruned, Overrun: overrun, Warm: haveFloor, WarmPruned: warmPruned, RootBound: rootBound}
 	if found {
 		stats.Best = best
 	}
+	if canceled {
+		return nil, stats, fmt.Errorf("advisor: exact solver stopped after %d branch-and-bound nodes: %w",
+			nodes, runerr.Canceled(ctx))
+	}
 	if overrun {
-		return nil, stats, fmt.Errorf("advisor: exact solver exceeded %d branch-and-bound nodes on %d objects × %d tiers; raise ExactNTier.MaxNodes",
-			maxNodes, n, len(tiers))
+		return nil, stats, fmt.Errorf("%w: exceeded %d branch-and-bound nodes on %d objects × %d tiers; raise ExactNTier.MaxNodes",
+			ErrNodeLimit, maxNodes, n, len(tiers))
 	}
 
 	if ws != nil {

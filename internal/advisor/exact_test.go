@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -286,16 +287,74 @@ func TestExactNTierSelectDelegatesToExactDP(t *testing.T) {
 	}
 }
 
-// TestExactNTierNodeLimit: hitting the search bound is an error, never
-// a silent heuristic answer.
+// TestExactNTierNodeLimit: under Strict, hitting the search bound is
+// a typed, errors.Is-able error — never a silent heuristic answer.
+// Without Strict the same overrun degrades to the greedy waterfall
+// with a machine-readable marker instead (TestExactNTierDegrades).
 func TestExactNTierNodeLimit(t *testing.T) {
 	var objs []Object
 	for i := 0; i < 12; i++ {
 		objs = append(objs, obj(fmt.Sprintf("o%d", i), 2, int64(100+i)))
 	}
-	_, err := Advise("app", objs, threeTierKNLish(8*units.MB, 8*units.MB), ExactNTier{MaxNodes: 3})
+	_, err := Advise("app", objs, threeTierKNLish(8*units.MB, 8*units.MB), ExactNTier{MaxNodes: 3, Strict: true})
 	if err == nil || !strings.Contains(err.Error(), "branch-and-bound") {
 		t.Fatalf("expected a node-limit error, got %v", err)
+	}
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("node-limit error is not errors.Is-able as ErrNodeLimit: %v", err)
+	}
+}
+
+// TestExactNTierDegrades: the non-strict solver's degradation ladder —
+// a node-limit overrun yields the density waterfall's placement with
+// the Degraded marker carrying reason, nodes and a ratio bound, and
+// the marker round-trips through the report exchange format.
+func TestExactNTierDegrades(t *testing.T) {
+	var objs []Object
+	for i := 0; i < 12; i++ {
+		objs = append(objs, obj(fmt.Sprintf("o%d", i), 2, int64(100+i)))
+	}
+	mc := threeTierKNLish(8*units.MB, 8*units.MB)
+	rep, err := Advise("app", objs, mc, ExactNTier{MaxNodes: 3})
+	if err != nil {
+		t.Fatalf("non-strict node-limit overrun should degrade, got error: %v", err)
+	}
+	d := rep.Degraded
+	if d == nil {
+		t.Fatal("degraded report carries no Degraded marker")
+	}
+	if d.Reason != "node-limit" || d.Fallback != (DensityStrategy{}).Name() || d.Nodes <= 0 {
+		t.Errorf("Degraded = %+v, want reason node-limit, density fallback, nodes > 0", d)
+	}
+	if d.RatioBound <= 0 || d.RatioBound > 1 {
+		t.Errorf("RatioBound = %v, want in (0, 1]", d.RatioBound)
+	}
+	if rep.Strategy != (ExactNTier{}).Name() {
+		t.Errorf("degraded report renamed its strategy to %q", rep.Strategy)
+	}
+
+	// The placement must be exactly the fallback waterfall's.
+	want, err := Advise("app", objs, mc, DensityStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Entries, want.Entries) || !reflect.DeepEqual(rep.Tiers, want.Tiers) {
+		t.Errorf("degraded placement differs from the density waterfall:\n got %+v\nwant %+v", rep.Entries, want.Entries)
+	}
+
+	// Round-trip: the degraded directive survives Write/ReadReport,
+	// and writing a clean report is byte-identical to the fallback's
+	// (the marker is the only divergence).
+	var buf strings.Builder
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Degraded, d) {
+		t.Errorf("Degraded marker did not round-trip: %+v vs %+v", back.Degraded, d)
 	}
 }
 

@@ -2,6 +2,8 @@ package advisor
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -212,6 +214,25 @@ type TierBudget struct {
 	Capacity int64
 }
 
+// Degradation is the machine-readable marker a report carries when
+// the requested solver could not finish and the advisor fell back to
+// a greedy strategy instead of erroring. The marker — not the
+// strategy label — is the honesty mechanism: the report still names
+// the strategy the caller asked for, and Degraded says what actually
+// produced the placement and how far from optimal it can be.
+type Degradation struct {
+	// Reason says why the solver gave up: "node-limit" or "deadline".
+	Reason string
+	// Fallback names the strategy that produced the placement.
+	Fallback string
+	// Nodes counts the branch-and-bound nodes spent before giving up.
+	Nodes int64
+	// RatioBound is a guaranteed lower bound on the placement's
+	// objective ratio against the unknown exact optimum: fallback
+	// objective / LP root bound. 1.0 means provably optimal.
+	RatioBound float64
+}
+
 // Report is hmem_advisor's output: the objects to place on each
 // non-default tier, plus the lb/ub size pre-filter bounds the
 // interposition library uses to skip unwinding for out-of-range
@@ -231,6 +252,11 @@ type Report struct {
 	Tiers []TierBudget
 	// LBSize/UBSize bound the sizes of selected dynamic objects.
 	LBSize, UBSize int64
+	// Degraded is non-nil when the requested solver could not finish
+	// and the placement came from Degraded.Fallback instead. Exact
+	// reports leave it nil, which keeps the exchange format
+	// byte-identical to the pre-degradation goldens.
+	Degraded *Degradation
 }
 
 // Advise waterfall-packs the candidate objects over the configured
@@ -265,6 +291,16 @@ func AdviseObserved(app string, objs []Object, mc MemoryConfig, strat Strategy, 
 // AdviseObserved of the same inputs. A nil WarmState is exactly
 // AdviseObserved.
 func AdviseWarm(app string, objs []Object, mc MemoryConfig, strat Strategy, ws *WarmState, rec *obs.Recorder) (*Report, error) {
+	return AdviseWarmCtx(context.Background(), app, objs, mc, strat, ws, rec)
+}
+
+// AdviseWarmCtx is AdviseWarm under a context: the exact solver polls
+// ctx during its search, so a canceled context stops an advise
+// promptly with runerr.ErrCanceled, and a ctx deadline behaves like a
+// node-limit overrun — the non-Strict exact solver degrades to the
+// greedy waterfall and marks the report. The greedy strategies are
+// effectively instant and are not interrupted mid-knapsack.
+func AdviseWarmCtx(ctx context.Context, app string, objs []Object, mc MemoryConfig, strat Strategy, ws *WarmState, rec *obs.Recorder) (*Report, error) {
 	if err := mc.Validate(); err != nil {
 		return nil, err
 	}
@@ -279,9 +315,17 @@ func AdviseWarm(app string, objs []Object, mc MemoryConfig, strat Strategy, ws *
 	// where the cascade below IS the exact problem and the strategy's
 	// one-knapsack seam reproduces the reference DP bit for bit.
 	if hs, ok := strat.(HierarchyStrategy); ok && !(len(tiers) == 2 && tiers[1].Name == def) {
-		return adviseHierarchyStrategy(app, objs, tiers, def, hs, ws, rec)
+		return adviseHierarchyStrategy(ctx, app, objs, tiers, def, hs, ws, rec)
 	}
 
+	return waterfallCascade(app, objs, tiers, def, strat, ws, rec)
+}
+
+// waterfallCascade is the per-tier greedy packing loop shared by the
+// plain-strategy path of AdviseWarm and the exact solver's
+// degradation fallback: each tier's knapsack takes the best of what
+// the faster tiers rejected, and the overflow cascades down.
+func waterfallCascade(app string, objs []Object, tiers []TierConfig, def string, strat Strategy, ws *WarmState, rec *obs.Recorder) (*Report, error) {
 	wstrat, warmable := strat.(WarmStrategy)
 	rep := &Report{App: app, Strategy: strat.Name(), Budget: tiers[0].Capacity}
 	var packed []TierBudget
@@ -331,21 +375,57 @@ func AdviseWarm(app string, objs []Object, mc MemoryConfig, strat Strategy, ws *
 // calls, with identical report-shape rules — entries per non-default
 // tier in hierarchy order, default placements implicit, per-tier
 // budgets recorded for N-tier reports.
-func adviseHierarchyStrategy(app string, objs []Object, tiers []TierConfig, def string, hs HierarchyStrategy, ws *WarmState, rec *obs.Recorder) (*Report, error) {
+func adviseHierarchyStrategy(ctx context.Context, app string, objs []Object, tiers []TierConfig, def string, hs HierarchyStrategy, ws *WarmState, rec *obs.Recorder) (*Report, error) {
 	var sel map[string][]Object
 	var err error
-	if e, ok := hs.(ExactNTier); ok && (rec != nil || ws != nil) {
+	if e, ok := hs.(ExactNTier); ok {
 		// The stats-carrying solve is the same search; the recorder gets
 		// its progress numbers even when the node budget overruns, and a
 		// warm state seeds the floor / remembers the new assignment.
 		var st NTierSolveStats
-		sel, st, err = e.selectHierarchyWarm(append([]Object(nil), objs...), tiers, def, ws, "hierarchy")
+		sel, st, err = e.selectHierarchyWarmCtx(ctx, append([]Object(nil), objs...), tiers, def, ws, "hierarchy")
 		if rec != nil {
 			rec.EmitSolver(obs.SolverEvent{
 				Strategy: hs.Name(), Objects: len(objs), Tiers: len(tiers),
 				Nodes: st.Nodes, Pruned: st.Pruned, Best: st.Best, Overrun: st.Overrun,
 				Warm: st.Warm, WarmPruned: st.WarmPruned,
 			})
+		}
+		if err != nil && !e.Strict {
+			// The degradation ladder: a node-limit overrun or an expired
+			// deadline falls back to the greedy waterfall (within 1% of
+			// exact on the paper's real profiles, PR 5 gap tables) with a
+			// machine-readable marker instead of an error. A plain
+			// cancellation is a caller's stop request and propagates.
+			var reason string
+			switch {
+			case errors.Is(err, ErrNodeLimit):
+				reason = "node-limit"
+			case errors.Is(err, context.DeadlineExceeded):
+				reason = "deadline"
+			}
+			if reason != "" {
+				fallback := DensityStrategy{}
+				rep, ferr := waterfallCascade(app, objs, tiers, def, fallback, ws, rec)
+				if ferr != nil {
+					return nil, ferr
+				}
+				ratio := 1.0
+				if st.RootBound > 0 {
+					obj := ReportObjective(objs, rep, MemoryConfig{Tiers: tiers, DefaultTier: def})
+					ratio = obj / st.RootBound
+				}
+				rep.Strategy = hs.Name()
+				rep.Degraded = &Degradation{
+					Reason: reason, Fallback: fallback.Name(),
+					Nodes: st.Nodes, RatioBound: ratio,
+				}
+				rec.EmitDegrade(obs.DegradeEvent{
+					Strategy: hs.Name(), Reason: reason, Fallback: fallback.Name(),
+					Nodes: st.Nodes, RatioBound: ratio,
+				})
+				return rep, nil
+			}
 		}
 	} else {
 		sel, err = hs.SelectHierarchy(append([]Object(nil), objs...), tiers, def)
@@ -495,6 +575,7 @@ func (r *Report) PromotedBytes() int64 {
 //
 //	HMEM_ADVISOR <app>
 //	strategy <name>
+//	degraded <reason> <fallback> <nodes> <ratio>   (degraded reports only)
 //	budget <bytes>
 //	tier <name> <bytes>        (N-tier reports only, one per packed tier)
 //	lb <bytes>
@@ -504,6 +585,11 @@ func (r *Report) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "HMEM_ADVISOR\t%s\n", r.App)
 	fmt.Fprintf(bw, "strategy\t%s\n", r.Strategy)
+	if r.Degraded != nil {
+		fmt.Fprintf(bw, "degraded\t%s\t%s\t%d\t%s\n",
+			r.Degraded.Reason, r.Degraded.Fallback, r.Degraded.Nodes,
+			strconv.FormatFloat(r.Degraded.RatioBound, 'g', -1, 64))
+	}
 	fmt.Fprintf(bw, "budget\t%d\n", r.Budget)
 	for _, t := range r.Tiers {
 		fmt.Fprintf(bw, "tier\t%s\t%d\n", t.Name, t.Capacity)
@@ -560,6 +646,19 @@ func ReadReport(rd io.Reader) (*Report, error) {
 			case "ub":
 				r.UBSize = v
 			}
+		case "degraded":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("advisor: line %d: degraded needs 5 fields, got %d", line, len(f))
+			}
+			nodes, err := strconv.ParseInt(f[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("advisor: line %d: bad degraded nodes", line)
+			}
+			ratio, err := strconv.ParseFloat(f[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("advisor: line %d: bad degraded ratio", line)
+			}
+			r.Degraded = &Degradation{Reason: f[1], Fallback: f[2], Nodes: nodes, RatioBound: ratio}
 		case "tier":
 			if len(f) != 3 {
 				return nil, fmt.Errorf("advisor: line %d: tier needs 3 fields, got %d", line, len(f))

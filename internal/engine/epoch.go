@@ -104,6 +104,13 @@ func (r *runner) maybeEndEpoch(it int, iterBoundary bool) {
 	if !trigger {
 		return
 	}
+	// Chaos seam: an injected stall at the boundary models a slow or
+	// wedged epoch re-solve. It moves the simulated clock BEFORE the
+	// boundary snapshot so the policy sees the delayed time, exactly
+	// as a real stall would present.
+	if d := r.cfg.Fault.EpochDelayCycles(); d > 0 {
+		r.now += units.Cycles(d)
+	}
 	info := EpochInfo{
 		Index: r.epochIdx, Iteration: it, Now: r.now,
 		Refs: r.epochRefs, Samples: r.epochSamples,

@@ -1,14 +1,17 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alloc"
 	"repro/internal/cache"
 	"repro/internal/callstack"
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/pebs"
+	"repro/internal/runerr"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/xrand"
@@ -75,6 +78,16 @@ type Config struct {
 	// with or without it; sweeps keep one pool per worker. A Pool must
 	// never be shared by concurrent runs.
 	Pool *Pool
+	// Ctx, when non-nil, lets the run be canceled between phases and
+	// iterations: the engine polls it at those boundaries (never in
+	// the hot access loop) and returns a runerr.ErrCanceled-wrapped
+	// error promptly. Nil means run to completion.
+	Ctx context.Context
+	// Fault, when non-nil, injects seeded faults (allocation failures,
+	// epoch-boundary stalls) for chaos testing. Nil — the production
+	// value — is a disabled injector at zero cost: the hooks sit on
+	// the allocation and epoch paths only, never the access loop.
+	Fault *faultinject.Injector
 }
 
 // PhaseStat is the engine's ground-truth record of one phase execution.
@@ -458,9 +471,24 @@ func (r *runner) onLLCMiss(addr uint64, refIdx int64) {
 	}
 }
 
+// canceled reports the run's cancellation state; the engine polls it
+// at phase and iteration boundaries, never in the access loop.
+func (r *runner) canceled() error {
+	if r.cfg.Ctx == nil {
+		return nil
+	}
+	if err := runerr.Canceled(r.cfg.Ctx); err != nil {
+		return fmt.Errorf("engine: %s: %w", r.w.Name, err)
+	}
+	return nil
+}
+
 // allocObject allocates a dynamic object through the policy, with
 // instrumentation if monitoring is on.
 func (r *runner) allocObject(o *ObjectSpec) error {
+	if err := r.cfg.Fault.AllocFailure(o.Name); err != nil {
+		return fmt.Errorf("engine: %s: alloc %q: %w", r.w.Name, o.Name, err)
+	}
 	stack := r.prog.Site(o.SitePath...)
 	addr, err := r.policy.Malloc(stack, o.Size)
 	if err != nil {
@@ -549,6 +577,9 @@ func (r *runner) execute() error {
 
 	reallocIter := r.w.Iterations / 2
 	for it := 0; it < r.w.Iterations; it++ {
+		if err := r.canceled(); err != nil {
+			return err
+		}
 		if r.tr != nil {
 			r.tr.Append(trace.Record{Time: r.now, Type: trace.EvPhaseBegin, Routine: "__iter__", Counter: int64(it)})
 		}
@@ -653,6 +684,9 @@ func (r *runner) reallocGrowers() error {
 // runPhase streams the phase's touches through the hierarchy and
 // accounts its time.
 func (r *runner) runPhase(ph *Phase, iter int) error {
+	if err := r.canceled(); err != nil {
+		return err
+	}
 	phaseStart := r.now
 	r.curRoutine = ph.Routine
 	r.phaseSamples = r.phaseSamples[:0]

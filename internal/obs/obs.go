@@ -164,6 +164,34 @@ const (
 	MemoNone = "none"
 )
 
+// DegradeEvent records a graceful solver degradation (ev "degrade"):
+// the requested solver gave up (node limit, deadline, or an epoch
+// re-solve panic) and a fallback produced the placement instead. It
+// is the trace-side twin of the report's Degraded marker, so every
+// non-exact answer in a trace explains itself.
+type DegradeEvent struct {
+	Header
+	Strategy   string  `json:"strategy"`
+	Reason     string  `json:"reason"`
+	Fallback   string  `json:"fallback"`
+	Nodes      int64   `json:"nodes,omitempty"`
+	RatioBound float64 `json:"ratio_bound,omitempty"`
+	Epoch      int     `json:"epoch,omitempty"`
+}
+
+// CellFailedEvent records a sweep cell that errored or panicked (ev
+// "cell_failed"): the cell index and label, the error text, and
+// whether it was a recovered panic. Healthy cells of the same sweep
+// complete normally; this event is why a trace of a 47/48 sweep
+// explains the missing cell.
+type CellFailedEvent struct {
+	Header
+	Cell  int    `json:"cell"`
+	Label string `json:"label"`
+	Error string `json:"error"`
+	Panic bool   `json:"panic,omitempty"`
+}
+
 // stored is one buffered event awaiting flush.
 type stored struct {
 	h *Header
@@ -350,6 +378,34 @@ func (r *Recorder) EmitCell(e CellEvent) {
 //go:noinline
 func (r *Recorder) cell(e CellEvent) {
 	e.Ev = "cell"
+	r.record(&e.Header, &e)
+}
+
+// EmitDegrade records a graceful solver degradation.
+func (r *Recorder) EmitDegrade(e DegradeEvent) {
+	if r == nil {
+		return
+	}
+	r.degrade(e)
+}
+
+//go:noinline
+func (r *Recorder) degrade(e DegradeEvent) {
+	e.Ev = "degrade"
+	r.record(&e.Header, &e)
+}
+
+// EmitCellFailed records a failed or panicked sweep cell.
+func (r *Recorder) EmitCellFailed(e CellFailedEvent) {
+	if r == nil {
+		return
+	}
+	r.cellFailed(e)
+}
+
+//go:noinline
+func (r *Recorder) cellFailed(e CellFailedEvent) {
+	e.Ev = "cell_failed"
 	r.record(&e.Header, &e)
 }
 

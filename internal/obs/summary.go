@@ -51,6 +51,11 @@ type Summary struct {
 	Cells      int64
 	MemoHits   int64
 	MemoMisses int64
+
+	// Robustness: solver degradations and failed sweep cells.
+	Degrades     int64
+	CellFailures int64
+	CellPanics   int64
 }
 
 // Summarize reads a JSONL trace and returns its digest. Unknown event
@@ -143,6 +148,17 @@ func Summarize(r io.Reader) (*Summary, error) {
 			case MemoMiss:
 				s.MemoMisses++
 			}
+		case "degrade":
+			s.Degrades++
+		case "cell_failed":
+			var e CellFailedEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+			s.CellFailures++
+			if e.Panic {
+				s.CellPanics++
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -204,6 +220,13 @@ func (s *Summary) WriteText(w io.Writer) error {
 	if s.Cells > 0 {
 		fmt.Fprintf(w, "sweep: %d cell(s) — %d profile memo hit(s), %d miss(es)\n",
 			s.Cells, s.MemoHits, s.MemoMisses)
+	}
+	if s.Degrades > 0 {
+		fmt.Fprintf(w, "robustness: %d solver degradation(s) to a greedy fallback\n", s.Degrades)
+	}
+	if s.CellFailures > 0 {
+		fmt.Fprintf(w, "robustness: %d failed sweep cell(s), %d from recovered panic(s)\n",
+			s.CellFailures, s.CellPanics)
 	}
 	return nil
 }

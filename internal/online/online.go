@@ -159,6 +159,7 @@ type Stats struct {
 	BytesPromoted     int64 // bytes migrated towards faster tiers
 	BytesDemoted      int64 // bytes migrated towards slower tiers
 	BindsAtAlloc      int64 // allocations bound to their tier at birth (no copy)
+	SolvePanics       int64 // epoch re-solves that panicked (placement kept)
 }
 
 // region is one live allocation the placer tracks.
@@ -585,6 +586,7 @@ func (p *Policy) MetricsSnapshot() map[string]int64 {
 		"solver_warm_hits":        ws.OrderHits + ws.FloorHits,
 		"solver_warm_misses":      ws.OrderMisses + ws.FloorMisses,
 		"solver_objects_repacked": p.repacked,
+		"solver_panics":           p.stats.SolvePanics,
 	}
 }
 
@@ -648,7 +650,10 @@ func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
 		return nil
 	}
 
-	ordered, next := p.solve()
+	ordered, next, solved := p.safeSolve(info.Index)
+	if !solved {
+		return nil
+	}
 
 	// Site-level diff: which sites change tier (counting "unassigned"
 	// as the default tier), and which regions sit off their desired
@@ -806,6 +811,27 @@ func (p *Policy) EpochEnd(info engine.EpochInfo) []engine.Migration {
 // request, or the all-time maximum if it did not allocate this epoch —
 // so one historically huge allocation cannot permanently price a
 // now-small site out of the knapsack.
+// safeSolve runs the epoch re-solve under recover. The strategy is
+// caller-supplied code running inside the engine's epoch loop, and
+// one panicking solve must not take the whole run down: the placer
+// keeps the current placement for this epoch, counts the failure
+// (Stats.SolvePanics, metric solver_panics), and emits a degrade
+// event so the trace explains the skipped re-plan.
+func (p *Policy) safeSolve(epoch int) (ordered []siteAssign, next map[string]mem.TierID, ok bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.stats.SolvePanics++
+			p.opts.Obs.EmitDegrade(obs.DegradeEvent{
+				Strategy: p.opts.Strategy.Name(), Reason: "epoch-solve-panic",
+				Fallback: "keep-placement", Epoch: epoch,
+			})
+			ordered, next, ok = nil, nil, false
+		}
+	}()
+	ordered, next = p.solve()
+	return ordered, next, true
+}
+
 func (p *Policy) solve() ([]siteAssign, map[string]mem.TierID) {
 	live := make(map[string]int64)
 	for _, rg := range p.regions {

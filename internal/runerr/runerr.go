@@ -1,0 +1,31 @@
+// Package runerr holds the typed run-lifecycle errors shared by the
+// engine, the solvers, the sweep grid and the facade. It exists so
+// that those packages can agree on one ErrCanceled sentinel without
+// importing each other.
+package runerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel wrapped by every error returned because
+// a context was canceled or its deadline expired. Callers branch with
+// errors.Is(err, runerr.ErrCanceled); the concrete cause
+// (context.Canceled or context.DeadlineExceeded) stays reachable
+// through errors.Is as well.
+var ErrCanceled = errors.New("run canceled")
+
+// Canceled converts a done context into the library's typed
+// cancellation error. It returns nil when the context is still live,
+// so call sites can write `if err := runerr.Canceled(ctx); err != nil`.
+func Canceled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if cause := ctx.Err(); cause != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, cause)
+	}
+	return nil
+}

@@ -22,8 +22,14 @@
 package sweep
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+
+	"repro/internal/runerr"
 )
 
 // Key identifies a shareable setup artifact. Cells with equal keys
@@ -37,6 +43,48 @@ type promise[A any] struct {
 	once     sync.Once
 	artifact A
 	err      error
+}
+
+// ErrCellPanic is the sentinel every recovered cell or setup panic
+// wraps: errors.Is(err, ErrCellPanic) tells a recovered crash apart
+// from an ordinary cell error.
+var ErrCellPanic = errors.New("sweep: cell panicked")
+
+// CellPanic is the error a recovered panic is captured as: the
+// panicking cell, the panic value and the stack at the point of
+// recovery. Cell is -1 for a shared-setup panic — which cell happened
+// to claim the promise is scheduling-dependent, and the error is
+// shared verbatim by every cell on that key, so recording the claimer
+// would break the grid's determinism contract.
+type CellPanic struct {
+	Cell  int
+	Value any
+	Stack []byte
+}
+
+func (p *CellPanic) Error() string {
+	where := fmt.Sprintf("cell %d", p.Cell)
+	if p.Cell < 0 {
+		where = "shared setup"
+	}
+	return fmt.Sprintf("%v in %s: %v\n%s", ErrCellPanic, where, p.Value, p.Stack)
+}
+
+// Unwrap makes the sentinel reachable through errors.Is.
+func (p *CellPanic) Unwrap() error { return ErrCellPanic }
+
+// Join aggregates per-cell errors into one error with errors.Join,
+// preserving cell-index order so the lowest failed cell stays the
+// primary (first-rendered, first-matched) error — the deterministic
+// contract Grid's callers rely on. Nil when no cell failed.
+func Join(errs []error) error {
+	var nonNil []error
+	for _, err := range errs {
+		if err != nil {
+			nonNil = append(nonNil, err)
+		}
+	}
+	return errors.Join(nonNil...)
 }
 
 // Grid runs cells 0..n-1 across a bounded pool of workers goroutines
@@ -59,13 +107,29 @@ type promise[A any] struct {
 // facade's determinism tests compare a parallel sweep against the
 // serial reference directly.
 //
-// A setup or point error fails its cell; Grid still runs the remaining
-// cells and returns the error of the LOWEST failed cell index (again
+// A setup or point error — or a recovered panic, captured as a
+// CellPanic — fails its cell; Grid still runs the remaining cells and
+// returns the per-cell errors aggregated with Join, so the error of
+// the LOWEST failed cell index stays primary (again
 // scheduling-independent) alongside the partial results.
 func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, error), point func(i, worker int, a A) (R, error)) ([]R, error) {
+	results, errs := GridCtx(context.Background(), n, workers, keyOf, setup, point)
+	return results, Join(errs)
+}
+
+// GridCtx is Grid under a context, returning the raw per-cell error
+// slice instead of an aggregate — the facade needs both: per-cell
+// errors to hand callers the 47 good cells of a 48-cell sweep, and
+// the context to stop a long grid promptly. Once ctx is done, cells
+// not yet started fail with runerr.ErrCanceled instead of running
+// (cells already in flight finish normally), so a canceled sweep
+// returns within roughly one cell's latency with every completed
+// result intact.
+func GridCtx[A, R any](ctx context.Context, n, workers int, keyOf func(int) Key, setup func(int) (A, error), point func(i, worker int, a A) (R, error)) ([]R, []error) {
 	results := make([]R, n)
+	errs := make([]error, n)
 	if n == 0 {
-		return results, nil
+		return results, errs
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -87,24 +151,43 @@ func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, err
 		return p
 	}
 
-	errs := make([]error, n)
 	run := func(i, worker int) {
+		if ctx != nil {
+			if err := runerr.Canceled(ctx); err != nil {
+				errs[i] = fmt.Errorf("sweep: cell %d not started: %w", i, err)
+				return
+			}
+		}
 		var artifact A
 		if k := keyOf(i); k != "" {
 			p := claim(k)
-			p.once.Do(func() { p.artifact, p.err = setup(i) })
+			p.once.Do(func() {
+				defer func() {
+					if v := recover(); v != nil {
+						p.err = &CellPanic{Cell: -1, Value: v, Stack: debug.Stack()}
+					}
+				}()
+				p.artifact, p.err = setup(i)
+			})
 			if p.err != nil {
 				errs[i] = p.err
 				return
 			}
 			artifact = p.artifact
 		}
-		r, err := point(i, worker, artifact)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		results[i] = r
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = &CellPanic{Cell: i, Value: v, Stack: debug.Stack()}
+				}
+			}()
+			r, err := point(i, worker, artifact)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = r
+		}()
 	}
 
 	if workers == 1 {
@@ -130,10 +213,5 @@ func Grid[A, R any](n, workers int, keyOf func(int) Key, setup func(int) (A, err
 		wg.Wait()
 	}
 
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return results, errs
 }

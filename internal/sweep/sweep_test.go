@@ -1,10 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/runerr"
 )
 
 // TestGridMemoizesSetupPerKey checks that cells sharing a key share one
@@ -145,6 +149,143 @@ func TestGridWorkerIDs(t *testing.T) {
 	for i, id := range collect(4) {
 		if id < 0 || id >= 4 {
 			t.Errorf("parallel: cell %d reports worker %d, want 0..3", i, id)
+		}
+	}
+}
+
+// TestGridJoinsAllCellErrors checks the aggregation contract: every
+// failed cell's message survives in the joined error (not just the
+// lowest index), in cell order.
+func TestGridJoinsAllCellErrors(t *testing.T) {
+	fails := map[int]error{2: errors.New("two fell over"), 5: errors.New("five fell over"), 8: errors.New("eight fell over")}
+	for _, workers := range []int{1, 4} {
+		_, err := Grid(10, workers,
+			func(i int) Key { return Key(fmt.Sprint(i)) },
+			func(i int) (int, error) { return i, nil },
+			func(i, _ int, a int) (int, error) { return a, fails[i] },
+		)
+		if err == nil {
+			t.Fatalf("workers=%d: joined error is nil", workers)
+		}
+		for i, cellErr := range fails {
+			if !errors.Is(err, cellErr) {
+				t.Errorf("workers=%d: cell %d's error lost from the join: %v", workers, i, err)
+			}
+		}
+		msg := err.Error()
+		if strings.Index(msg, "two") > strings.Index(msg, "five") || strings.Index(msg, "five") > strings.Index(msg, "eight") {
+			t.Errorf("workers=%d: joined errors out of cell order:\n%s", workers, msg)
+		}
+	}
+}
+
+// TestChaosGridRecoversCellPanic checks panic isolation: a panicking
+// cell fails only itself, captured as an ErrCellPanic with the cell
+// index and stack, and every other cell's result is bit-identical to
+// a clean run.
+func TestChaosGridRecoversCellPanic(t *testing.T) {
+	mk := func(panicAt int) ([]int, []error) {
+		return GridCtx(context.Background(), 12, 3,
+			func(i int) Key { return Key(fmt.Sprint(i % 4)) },
+			func(i int) (int, error) { return (i % 4) * 10, nil },
+			func(i, _ int, a int) (int, error) {
+				if i == panicAt {
+					panic("cell exploded")
+				}
+				return a + i, nil
+			},
+		)
+	}
+	clean, cleanErrs := mk(-1)
+	for i, err := range cleanErrs {
+		if err != nil {
+			t.Fatalf("clean run: cell %d failed: %v", i, err)
+		}
+	}
+	got, errs := mk(7)
+	var cp *CellPanic
+	if !errors.As(errs[7], &cp) || !errors.Is(errs[7], ErrCellPanic) {
+		t.Fatalf("cell 7 error = %v, want a CellPanic wrapping ErrCellPanic", errs[7])
+	}
+	if cp.Cell != 7 || len(cp.Stack) == 0 || !strings.Contains(fmt.Sprint(cp.Value), "exploded") {
+		t.Errorf("CellPanic = cell %d value %v stack %d bytes", cp.Cell, cp.Value, len(cp.Stack))
+	}
+	for i := range clean {
+		if i == 7 {
+			continue
+		}
+		if errs[i] != nil || got[i] != clean[i] {
+			t.Errorf("surviving cell %d: result %d err %v, want %d from the clean run", i, got[i], errs[i], clean[i])
+		}
+	}
+}
+
+// TestChaosGridRecoversSetupPanic checks that a shared-setup panic
+// fails every sharer with one identical CellPanic carrying Cell == -1
+// (the claiming cell is scheduling-dependent and must not leak into
+// the error).
+func TestChaosGridRecoversSetupPanic(t *testing.T) {
+	_, errs := GridCtx(context.Background(), 6, 3,
+		func(i int) Key {
+			if i%2 == 0 {
+				return "bad"
+			}
+			return "good"
+		},
+		func(i int) (int, error) {
+			if i%2 == 0 {
+				panic("setup exploded")
+			}
+			return 1, nil
+		},
+		func(i, _ int, a int) (int, error) { return a, nil },
+	)
+	for i := 0; i < 6; i += 2 {
+		var cp *CellPanic
+		if !errors.As(errs[i], &cp) {
+			t.Fatalf("sharer cell %d error = %v, want CellPanic", i, errs[i])
+		}
+		if cp.Cell != -1 {
+			t.Errorf("setup panic records cell %d, want -1", cp.Cell)
+		}
+		if errs[i] != errs[0] {
+			t.Errorf("sharer cell %d carries a different error instance than cell 0", i)
+		}
+	}
+	for i := 1; i < 6; i += 2 {
+		if errs[i] != nil {
+			t.Errorf("good-key cell %d failed: %v", i, errs[i])
+		}
+	}
+}
+
+// TestChaosGridCancel checks prompt cancellation: once the context is
+// canceled, unstarted cells fail with ErrCanceled and already-
+// completed results survive. The serial path makes the cut
+// deterministic.
+func TestChaosGridCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	results, errs := GridCtx(ctx, 8, 1,
+		func(i int) Key { return "" },
+		func(i int) (int, error) { return 0, nil },
+		func(i, _ int, a int) (int, error) {
+			if i == 2 {
+				cancel()
+			}
+			return i * 11, nil
+		},
+	)
+	for i := 0; i <= 2; i++ {
+		if errs[i] != nil || results[i] != i*11 {
+			t.Errorf("pre-cancel cell %d: result %d err %v", i, results[i], errs[i])
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if !errors.Is(errs[i], runerr.ErrCanceled) {
+			t.Errorf("post-cancel cell %d error = %v, want ErrCanceled", i, errs[i])
+		}
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("post-cancel cell %d error should keep the context cause, got %v", i, errs[i])
 		}
 	}
 }

@@ -17,12 +17,15 @@ package hybridmem
 // worker count — pinned by TestSweepMatchesSerialLoop.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 )
@@ -84,6 +87,12 @@ type SweepResult struct {
 	// run — the numerator of the refs/sec throughput BENCH_sweep.json
 	// tracks.
 	Refs int64
+	// Err is this cell's failure, nil for a healthy cell. A failed
+	// cell never takes the sweep down: a recovered panic lands here as
+	// an ErrCellPanic-wrapped CellPanicError, a cancellation as an
+	// ErrCanceled-wrapped error, and every other cell still completes
+	// with its result bit-identical to a clean sweep's.
+	Err error
 }
 
 // SweepOptions tunes RunSweep.
@@ -102,6 +111,12 @@ type SweepOptions struct {
 	// events' "worker" and "wall_ns" fields. Any Obs recorder set on a
 	// point's own config is replaced for the duration of the sweep.
 	Obs *FlightRecorder
+	// Fault, when non-nil, arms the seeded chaos plan: victim cells
+	// and profiling keys are selected deterministically from the seed
+	// (never from scheduling), injected failures land in per-cell Err
+	// slots, and untouched cells stay bit-identical to a fault-free
+	// sweep. Production sweeps leave it nil at zero cost.
+	Fault *FaultInjector
 }
 
 // profiled is the memoized Stage 1+2 artifact of a pipeline cell.
@@ -136,8 +151,24 @@ func profileKey(w *Workload, cfg *PipelineConfig) sweep.Key {
 // configuration share one Profile+Analyze computation; all cells fan
 // out across the worker pool. Results are identical to running the
 // cells serially in order (Pipeline / RunBaseline / RunOnline per
-// cell); the first error — by cell index — fails the sweep.
+// cell).
+//
+// A failing cell — organic error, injected fault, or recovered panic
+// — fails only itself: its error lands in its result's Err field,
+// every other cell completes bit-identical to a clean sweep, and the
+// returned error aggregates all cell errors in cell order (the lowest
+// failed index stays the primary for errors.Is). Malformed points are
+// still rejected up front before anything runs.
 func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
+	return RunSweepCtx(context.Background(), points, opts)
+}
+
+// RunSweepCtx is RunSweep under a context. Once ctx is done, cells
+// not yet started fail with ErrCanceled-wrapped errors instead of
+// running and in-flight runs stop at their next iteration/phase
+// boundary, so a canceled sweep returns within roughly one cell's
+// latency carrying every completed result.
+func RunSweepCtx(ctx context.Context, points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 	// Validate and default eagerly so keys are derived from the final
 	// configurations.
 	cfgs := make([]SweepPoint, len(points))
@@ -171,12 +202,38 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		return profileKey(cfgs[i].Workload, cfgs[i].Pipeline)
 	}
 
+	// Canonical distinct-key table: keyOrd numbers each profiling key
+	// by first appearance in cell order, firstCell remembers which cell
+	// introduced it. Both the trace's memo dispositions and the chaos
+	// plan's setup-victim selection derive from this table rather than
+	// from whichever goroutine actually won the promise race, so they
+	// are scheduling-independent.
+	keyOrd := make(map[sweep.Key]int)
+	firstCell := make(map[sweep.Key]int)
+	for i := range cfgs {
+		k := keyOf(i)
+		if k == "" {
+			continue
+		}
+		if _, ok := keyOrd[k]; !ok {
+			keyOrd[k] = len(keyOrd)
+			firstCell[k] = i
+		}
+	}
+
+	// The chaos plan, all decided before anything runs: which keys'
+	// shared setup fails, which cells error or panic outright, which
+	// cells' runs suffer allocation failures or epoch stalls. Victims
+	// depend only on (seed, point, domain size) — nil plans everywhere
+	// when no injector is armed.
+	setupVictims := opts.Fault.Victims(faultinject.SweepSetup, len(keyOrd))
+	errVictims := opts.Fault.Victims(faultinject.SweepCellError, len(cfgs))
+	panicVictims := opts.Fault.Victims(faultinject.SweepCellPanic, len(cfgs))
+	allocVictims := opts.Fault.Victims(faultinject.AllocFail, len(cfgs))
+	delayVictims := opts.Fault.Victims(faultinject.EpochDelay, len(cfgs))
+
 	// Tracing: every cell records into a private buffer, flushed in
-	// cell order after the grid returns. Memo dispositions are derived
-	// canonically from the key table — the FIRST cell index holding a
-	// key is the "miss" that pays for the profile, every later sharer a
-	// "hit" — rather than from whichever goroutine actually won the
-	// promise race, so the trace is scheduling-independent.
+	// cell order after the grid returns.
 	var cellObs []*obs.Recorder
 	var memo []string
 	var cellWorker []int
@@ -184,19 +241,15 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		cellObs = make([]*obs.Recorder, len(cfgs))
 		memo = make([]string, len(cfgs))
 		cellWorker = make([]int, len(cfgs))
-		first := make(map[sweep.Key]int)
 		for i := range cfgs {
 			cellObs[i] = obs.NewBuffer()
-			k := keyOf(i)
-			if k == "" {
+			switch k := keyOf(i); {
+			case k == "":
 				memo[i] = obs.MemoNone
-				continue
-			}
-			if _, ok := first[k]; ok {
-				memo[i] = obs.MemoHit
-			} else {
-				first[k] = i
+			case firstCell[k] == i:
 				memo[i] = obs.MemoMiss
+			default:
+				memo[i] = obs.MemoHit
 			}
 		}
 	}
@@ -229,8 +282,15 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		// stay scheduling-independent. The profiling run is untraced
 		// for the same reason: its events would land in the buffer of
 		// whichever sharer's goroutine claimed the promise first.
+		if setupVictims != nil && setupVictims[keyOrd[keyOf(i)]] {
+			// Named after the key's content (workload + seed, identical
+			// for all sharers), like organic setup errors.
+			return nil, fmt.Errorf("hybridmem: sweep %s (seed %d): profile stage: %w",
+				p.Workload.Name, p.Pipeline.Seed, opts.Fault.Errorf(faultinject.SweepSetup, "profile run refused"))
+		}
 		pc := p.Pipeline.profileConfig()
 		pc.Obs = nil
+		pc.ctx = ctx
 		tr, profRun, err := Profile(p.Workload, pc)
 		if err != nil {
 			return nil, fmt.Errorf("hybridmem: sweep %s (seed %d): profile stage: %w", p.Workload.Name, p.Pipeline.Seed, err)
@@ -247,11 +307,35 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		if cellObs != nil {
 			cellWorker[i] = worker
 		}
+		if panicVictims != nil && panicVictims[i] {
+			panic(opts.Fault.PanicValue(faultinject.SweepCellPanic, fmt.Sprintf("cell %d (%s)", i, p.Label)))
+		}
+		if errVictims != nil && errVictims[i] {
+			return res, fmt.Errorf("hybridmem: sweep %q: %w", p.Label,
+				opts.Fault.Errorf(faultinject.SweepCellError, "cell %d refused", i))
+		}
+		// Engine-level faults run under a per-cell scope so ordinal
+		// triggers (every Nth allocation / epoch) count per cell, not
+		// per process — deterministic regardless of scheduling. Solver
+		// starvation is global: every exact cell's node budget clamps.
+		var cellFault *FaultInjector
+		if opts.Fault != nil {
+			pts := []faultinject.Point{faultinject.SolverStarve}
+			if allocVictims != nil && allocVictims[i] {
+				pts = append(pts, faultinject.AllocFail)
+			}
+			if delayVictims != nil && delayVictims[i] {
+				pts = append(pts, faultinject.EpochDelay)
+			}
+			cellFault = opts.Fault.Scope(fmt.Sprintf("cell-%d", i), pts...)
+		}
 		start := time.Now()
 		switch {
 		case p.Pipeline != nil:
 			cfg := *p.Pipeline
 			cfg.pool = pools[worker]
+			cfg.ctx = ctx
+			cfg.fault = cellFault
 			if cellObs != nil {
 				cfg.Obs = cellObs[i]
 			}
@@ -275,6 +359,8 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		case p.Baseline != nil:
 			bc := p.Baseline.Config
 			bc.pool = pools[worker]
+			bc.ctx = ctx
+			bc.fault = cellFault
 			if cellObs != nil {
 				bc.Obs = cellObs[i]
 			}
@@ -286,6 +372,8 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		default:
 			oc := *p.Online
 			oc.pool = pools[worker]
+			oc.ctx = ctx
+			oc.fault = cellFault
 			if cellObs != nil {
 				oc.Obs = cellObs[i]
 			}
@@ -299,7 +387,13 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 		res.Refs = SimulatedRefs(res.Run)
 		return res, nil
 	}
-	results, err := sweep.Grid(len(cfgs), opts.Workers, keyOf, setup, point)
+	results, errs := sweep.GridCtx(ctx, len(cfgs), opts.Workers, keyOf, setup, point)
+	for i := range results {
+		// A panicking or never-started cell returns the zero result —
+		// restore its label and attach its error.
+		results[i].Label = cfgs[i].Label
+		results[i].Err = errs[i]
+	}
 	// Flush cell buffers in cell order even on a failed sweep — the
 	// partial trace is exactly what post-mortems want.
 	if opts.Obs != nil {
@@ -319,10 +413,19 @@ func RunSweep(points []SweepPoint, opts SweepOptions) ([]SweepResult, error) {
 				Worker: cellWorker[i],
 				WallNS: results[i].Wall.Nanoseconds(),
 			})
+			if errs[i] != nil {
+				var cp *sweep.CellPanic
+				opts.Obs.EmitCellFailed(obs.CellFailedEvent{
+					Cell:  i,
+					Label: cfgs[i].Label,
+					Error: errs[i].Error(),
+					Panic: errors.As(errs[i], &cp),
+				})
+			}
 			cellObs[i].FlushTo(opts.Obs)
 		}
 	}
-	return results, err
+	return results, sweep.Join(errs)
 }
 
 // SimulatedRefs sums the memory references a run simulated — the
