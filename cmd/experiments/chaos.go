@@ -147,6 +147,10 @@ func chaosTable(seed uint64, scale float64) {
 		}
 	}
 
+	if !chaosCacheTable(seed, scale) {
+		bad = true
+	}
+
 	fired := inj.Counts()
 	fmt.Printf("fired:")
 	for _, p := range []hm.FaultPoint{hm.FaultSweepSetup, hm.FaultSweepCellError, hm.FaultSweepCellPanic, hm.FaultAllocFail, hm.FaultEpochDelay, hm.FaultSolverStarve} {
@@ -160,4 +164,87 @@ func chaosTable(seed uint64, scale float64) {
 	}
 	fmt.Printf("chaos verification passed: %d/%d cells failed as planned, survivors bit-identical, reproducible from seed %d\n",
 		failed, len(pts), seed)
+}
+
+// chaosCacheTable is the artifact-cache leg of the chaos mode: every
+// profile artifact committed through an armed cache-corrupt scope is
+// garbled on disk (a torn write — the bytes change AFTER checksumming,
+// so the manifest no longer matches), and the next clean sweep over
+// the same directory must detect each damaged entry, recompute, and
+// come out bit-identical. A corrupt cache may slow a sweep down; it
+// must never poison one. Returns false on any violation.
+func chaosCacheTable(seed uint64, scale float64) bool {
+	wm, err := hm.WorkloadByName("minife")
+	check(err)
+	mm := hm.MachineFor(wm)
+	rs := 0.25 * scale
+	pts := []hm.SweepPoint{
+		hm.PipelinePoint("m0/32", wm, hm.PipelineConfig{Machine: mm, Seed: 21, Budget: 32 * units.MB, RefScale: rs}),
+		hm.PipelinePoint("density/128", wm, hm.PipelineConfig{Machine: mm, Seed: 21, Budget: 128 * units.MB, Strategy: hm.StrategyDensity, RefScale: rs}),
+		hm.PipelinePoint("otherseed", wm, hm.PipelineConfig{Machine: mm, Seed: 77, Budget: 128 * units.MB, RefScale: rs}),
+	}
+	clean := runSweep(pts)
+
+	dir, err := os.MkdirTemp("", "hmem-chaos-cache-")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	ok := true
+	sameAs := func(label string, res []hm.SweepResult) {
+		for i := range pts {
+			if res[i].Err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: chaos: cache %s: cell %d (%s) failed: %v\n", label, i, pts[i].Label, res[i].Err)
+				ok = false
+				continue
+			}
+			if !reflect.DeepEqual(res[i].Run, clean[i].Run) {
+				fmt.Fprintf(os.Stderr, "experiments: chaos: cache %s: cell %d (%s) diverged from the cache-less sweep\n", label, i, pts[i].Label)
+				ok = false
+			}
+		}
+	}
+
+	// Pass 1: every commit garbled in flight.
+	inj := hm.NewFaultInjector(seed, hm.FaultSpec{CacheCorrupts: 1, CacheCorruptEvery: 1})
+	evil, err := hm.OpenArtifactCache(dir, inj.Scope("cache", hm.FaultCacheCorrupt))
+	check(err)
+	res, _ := hm.RunSweep(pts, hm.SweepOptions{Workers: *workers, Cache: evil})
+	sameAs("corrupting", res)
+	garbled := inj.Counts()[hm.FaultCacheCorrupt]
+	if garbled == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: chaos: cache-corrupt injector never fired")
+		ok = false
+	}
+
+	// Pass 2: a clean handle over the damaged directory — detect,
+	// recompute, heal.
+	healer, err := hm.OpenArtifactCache(dir, nil)
+	check(err)
+	res, _ = hm.RunSweep(pts, hm.SweepOptions{Workers: *workers, Cache: healer})
+	sameAs("recovery", res)
+	hst := healer.Stats()
+	if hst.Corrupt == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: chaos: corrupted cache entries went undetected: %+v\n", hst)
+		ok = false
+	}
+
+	// Pass 3: the recompute healed the entries — a third handle serves
+	// every profile from disk.
+	warm, err := hm.OpenArtifactCache(dir, nil)
+	check(err)
+	res, _ = hm.RunSweep(pts, hm.SweepOptions{Workers: *workers, Cache: warm})
+	sameAs("healed", res)
+	wst := warm.Stats()
+	if wst.Hits == 0 || wst.Misses != 0 {
+		fmt.Fprintf(os.Stderr, "experiments: chaos: healed cache did not serve from disk: %+v\n", wst)
+		ok = false
+	}
+
+	status := "survived"
+	if !ok {
+		status = "FAILED"
+	}
+	fmt.Printf("cache chaos: %d commits garbled, %d detected as corrupt, healed sweep all-disk (%d hits, %d misses) — %s\n",
+		garbled, hst.Corrupt, wst.Hits, wst.Misses, status)
+	return ok
 }

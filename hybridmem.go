@@ -39,8 +39,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"repro/internal/advisor"
 	"repro/internal/apps"
@@ -177,28 +175,9 @@ var (
 // particular "misses5" is rejected rather than silently parsed as a
 // 0% threshold.
 func StrategyByName(name string) (Strategy, error) {
-	switch name {
-	case "density":
-		return StrategyDensity, nil
-	case "exact":
-		return StrategyExactNTier, nil
-	case "exact-strict":
-		return StrategyExactStrict, nil
-	case "exact-dp", "exactdp":
-		return StrategyExactDP, nil
-	case "fcfs":
-		return StrategyFCFS, nil
-	case "misses":
-		return StrategyMisses(0), nil
-	}
-	if rest, ok := strings.CutPrefix(name, "misses:"); ok {
-		v, err := strconv.ParseFloat(rest, 64)
-		if err != nil {
-			return nil, fmt.Errorf("hybridmem: bad misses threshold %q", rest)
-		}
-		return StrategyMisses(v), nil
-	}
-	return nil, fmt.Errorf("hybridmem: unknown strategy %q (density|misses[:pct]|exact|exact-dp|fcfs)", name)
+	// The grammar lives in internal/advisor so the advisory daemon's
+	// wire protocol resolves names identically to the CLIs.
+	return advisor.StrategyByName(name)
 }
 
 // PlacementObjective prices a report against a memory configuration:

@@ -1,0 +1,42 @@
+package advisor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StrategyByName resolves the command-line strategy grammar shared by
+// every surface that accepts a strategy as text — cmd/hmemadvisor,
+// cmd/experiments, and the advisory daemon's wire protocol:
+//
+//	density | misses | misses:<pct> | exact | exact-strict | exact-dp | exactdp | fcfs
+//
+// Unknown names and malformed misses thresholds are errors; in
+// particular "misses5" is rejected rather than silently parsed as a
+// 0% threshold. The root package re-exports this as
+// hybridmem.StrategyByName.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "density":
+		return DensityStrategy{}, nil
+	case "exact":
+		return ExactNTier{}, nil
+	case "exact-strict":
+		return ExactNTier{Strict: true}, nil
+	case "exact-dp", "exactdp":
+		return ExactDP{}, nil
+	case "fcfs":
+		return FCFSStrategy{}, nil
+	case "misses":
+		return MissesStrategy{}, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "misses:"); ok {
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: bad misses threshold %q", rest)
+		}
+		return MissesStrategy{Threshold: v}, nil
+	}
+	return nil, fmt.Errorf("advisor: unknown strategy %q (density|misses[:pct]|exact|exact-strict|exact-dp|fcfs)", name)
+}

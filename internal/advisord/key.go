@@ -1,0 +1,81 @@
+// Package advisord is the placement-advisory daemon: a long-running
+// service that lets many clients — separate processes, CI runs,
+// thousands of simulated fleet nodes — share the expensive
+// Profile/Analyze artifacts and advisor reports the library otherwise
+// recomputes per invocation.
+//
+// It has three layers, each usable on its own:
+//
+//   - Cache: a content-addressed on-disk artifact store. Entries are
+//     keyed by the canonical StrongFingerprint of everything that
+//     determines the artifact (machine, workload, budget, strategy),
+//     carry a manifest with per-file sha256 checksums, and are written
+//     atomically (temp dir + rename). Corrupt or truncated entries are
+//     detected on read, dropped, and recomputed — never served.
+//   - Server/Client: a wire protocol of length-prefixed JSON frames
+//     over any net.Conn. Clients upload a profile (or stream
+//     PEBS-style sample batches, or ask the server to profile a named
+//     workload), then request advice; the server shards the heavy work
+//     across a worker pool whose workers reuse engine.Pool simulator
+//     state, backed by a singleflight in-memory memo over the disk
+//     cache.
+//   - Loadgen: the self-benchmark harness behind cmd/advisord
+//     -loadgen, which doubles as the end-to-end proof that fingerprints
+//     are stable across processes: a daemon restart over the same cache
+//     directory must serve every artifact from disk.
+//
+// Everything the daemon serves is byte-identical to the in-process
+// path: a report from the wire equals Advise run locally, bit for bit.
+package advisord
+
+import (
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/paramedir"
+)
+
+// ProfileParams are the knobs of a profiling run that shape its
+// artifacts — exactly the fields the root package's ProfileConfig
+// feeds the engine. The zero values are NOT defaulted here: normalize
+// before keying (see the callers) so "0 = default" and the explicit
+// default cannot produce two keys for one artifact.
+type ProfileParams struct {
+	Machine      mem.Machine
+	Cores        int
+	Seed         uint64
+	SamplePeriod uint64
+	MinAllocSize int64
+	RefScale     float64
+}
+
+// ProfileKey content-addresses a Profile+Analyze artifact: the
+// canonical fingerprint of the workload's full structure plus every
+// profiling parameter the trace depends on. Two equal keys mean
+// byte-identical profiling runs — in this process, in another process,
+// or last week's CI run — which is what lets the sweep engine's
+// persistent memo tier and the daemon's artifact cache share work
+// across invocations. (The old in-process memo keyed on the workload
+// POINTER and a %+v rendering; both die at the process boundary.)
+func ProfileKey(w *engine.Workload, p ProfileParams) string {
+	return obs.StrongFingerprint(struct {
+		Kind     string
+		Workload *engine.Workload
+		Params   ProfileParams
+	}{Kind: "profile", Workload: w, Params: p})
+}
+
+// AdviseKey content-addresses an advisor report: the canonical
+// fingerprint of the profile CONTENT (not its provenance), the memory
+// configuration packed against, and the strategy name. The strategy is
+// keyed by name rather than value on purpose: the name is the wire
+// identity, and every named strategy is a pure function of its name
+// (misses thresholds are part of the name).
+func AdviseKey(prof *paramedir.Profile, mcFP string, strategy string) string {
+	return obs.StrongFingerprint(struct {
+		Kind     string
+		Profile  *paramedir.Profile
+		Memory   string
+		Strategy string
+	}{Kind: "advise", Profile: prof, Memory: mcFP, Strategy: strategy})
+}

@@ -389,8 +389,22 @@ func Run(w *Workload, cfg Config) (*Result, error) {
 			Cores:    cores,
 			Seed:     cfg.Seed,
 			RefScale: cfg.RefScale,
-			ConfigFP: obs.Fingerprint(fmt.Sprintf("machine=%+v|cores=%d|seed=%d|refscale=%g|statics=%t|monitor=%+v|policy=%s|tag=%s",
-				cfg.Machine, cores, cfg.Seed, cfg.RefScale, cfg.StaticsInFast, cfg.Monitor, policy.Name(), cfg.Tag)),
+			// The fingerprint is taken over configuration VALUES —
+			// obs.Fingerprint dereferences the Monitor pointer — so the
+			// same run fingerprints identically in every process. (The
+			// old %+v rendering hashed the *MonitorConfig address,
+			// which made ConfigFP unique per allocation, never mind per
+			// process.)
+			ConfigFP: obs.Fingerprint(struct {
+				Machine  mem.Machine
+				Cores    int
+				Seed     uint64
+				RefScale float64
+				Statics  bool
+				Monitor  *MonitorConfig
+				Policy   string
+				Tag      string
+			}{cfg.Machine, cores, cfg.Seed, cfg.RefScale, cfg.StaticsInFast, cfg.Monitor, policy.Name(), cfg.Tag}),
 		})
 	}
 

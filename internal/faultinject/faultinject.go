@@ -41,6 +41,15 @@ const (
 	// SolverStarve clamps the exact solver's node budget so it hits
 	// its limit and exercises the degradation ladder.
 	SolverStarve Point = "solver-starve"
+	// CacheCorrupt garbles an artifact-cache entry as it is written,
+	// modeling a torn write or bit rot: the entry's recorded checksums
+	// no longer match its files, so the next read must detect the
+	// corruption, drop the entry and recompute.
+	CacheCorrupt Point = "cache-corrupt"
+	// ClientDisconnect drops a victim advisory client's connection mid
+	// conversation; the daemon must shrug and the other clients must
+	// be unaffected.
+	ClientDisconnect Point = "client-disconnect"
 )
 
 // ErrInjected is wrapped by every error the injector fabricates, so
@@ -65,6 +74,11 @@ type Spec struct {
 	EpochDelayCycles float64 // simulated cycles added per stall
 
 	SolverNodeBudget int64 // clamp ExactNTier.MaxNodes (0 = leave alone)
+
+	CacheCorrupts     int   // victim cache writes (Victims domain) for plan-based corruption
+	CacheCorruptEvery int64 // every Nth cache write is garbled inside an armed scope
+
+	ClientDisconnects int // advisory clients that drop their connection mid-conversation
 }
 
 func (s Spec) victims(p Point) int {
@@ -83,6 +97,10 @@ func (s Spec) victims(p Point) int {
 		if s.SolverNodeBudget > 0 {
 			return 1
 		}
+	case CacheCorrupt:
+		return s.CacheCorrupts
+	case ClientDisconnect:
+		return s.ClientDisconnects
 	}
 	return 0
 }
@@ -107,6 +125,11 @@ func (s Spec) keep(points []Point) Spec {
 			out.EpochDelayCycles = s.EpochDelayCycles
 		case SolverStarve:
 			out.SolverNodeBudget = s.SolverNodeBudget
+		case CacheCorrupt:
+			out.CacheCorrupts = s.CacheCorrupts
+			out.CacheCorruptEvery = s.CacheCorruptEvery
+		case ClientDisconnect:
+			out.ClientDisconnects = s.ClientDisconnects
 		}
 	}
 	return out
@@ -116,7 +139,8 @@ func (s Spec) empty() bool {
 	return s.SetupErrors == 0 && s.CellErrors == 0 && s.CellPanics == 0 &&
 		(s.AllocFails == 0 || s.AllocFailEvery == 0) &&
 		(s.EpochDelays == 0 || s.EpochDelayEvery == 0 || s.EpochDelayCycles == 0) &&
-		s.SolverNodeBudget == 0
+		s.SolverNodeBudget == 0 && s.CacheCorruptEvery == 0 &&
+		s.ClientDisconnects == 0
 }
 
 // tally counts faults that actually fired, shared across all scopes
@@ -140,9 +164,10 @@ type Injector struct {
 	spec  Spec
 	fired *tally
 
-	mu     sync.Mutex
-	allocs int64
-	epochs int64
+	mu        sync.Mutex
+	allocs    int64
+	epochs    int64
+	cachePuts int64
 }
 
 // New builds an injector that injects spec deterministically under
@@ -276,6 +301,23 @@ func (f *Injector) EpochDelayCycles() float64 {
 	}
 	f.fired.add(EpochDelay)
 	return f.spec.EpochDelayCycles
+}
+
+// CacheCorruption reports whether the current artifact-cache write
+// should be garbled: it counts cache writes inside this scope; every
+// CacheCorruptEvery-th one is corrupted.
+func (f *Injector) CacheCorruption() bool {
+	if f == nil || f.spec.CacheCorruptEvery <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	f.cachePuts++
+	hit := f.cachePuts%f.spec.CacheCorruptEvery == 0
+	f.mu.Unlock()
+	if hit {
+		f.fired.add(CacheCorrupt)
+	}
+	return hit
 }
 
 // SolverNodeBudget reports the clamped branch-and-bound node budget,

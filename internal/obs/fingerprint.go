@@ -1,0 +1,232 @@
+package obs
+
+// Canonical configuration fingerprinting.
+//
+// Fingerprint used to hash the %+v rendering of a config, which leaks
+// pointer ADDRESSES (a *MonitorConfig field renders as 0xc000123456)
+// and is only stable by accident for maps (small maps happen to
+// iterate sorted under the current runtime). Anything that keys
+// durable state off such a hash — the advisory daemon's on-disk
+// artifact cache, the sweep engine's persistent memo tier — silently
+// breaks: the same configuration fingerprints differently in every
+// process, so artifacts are never shared and, worse, a colliding
+// rendering could share artifacts that must not be.
+//
+// The canonical encoding below is a pure function of configuration
+// VALUES:
+//
+//   - struct fields are emitted in declaration order, exported fields
+//     only; unexported fields are excluded explicitly (they are not
+//     part of a configuration's public identity and cannot be read
+//     portably).
+//   - map entries are sorted by the canonical encoding of their keys.
+//   - pointers are dereferenced (nil encodes as "nil"), so a config
+//     holding *MonitorConfig fingerprints by the monitor's contents.
+//     Pointer cycles terminate deterministically with a "cycle" token
+//     at the revisited pointer.
+//   - function and channel values are excluded explicitly: they encode
+//     as their bare kind token ("func"/"chan"), never their identity.
+//     Two configs differing only in a function field fingerprint
+//     equal — callers that care must key on a name, as the strategy
+//     configs do.
+//   - floats use the shortest round-trip decimal form, integers the
+//     decimal form, strings are quoted; every named type contributes
+//     its full type path so differently-typed configs with identical
+//     shapes cannot collide.
+//
+// The encoding depends only on the value and its type declaration —
+// never on addresses, map iteration order, process layout or
+// architecture word size (int always encodes as 64-bit decimal) — so
+// fingerprints are stable across processes, machines and restarts.
+// That stability is load-bearing: the artifact cache keys durable
+// state off it (pinned by the golden + subprocess tests).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// Fingerprint returns a short stable hex fingerprint of v's canonical
+// encoding — the config-identity hash manifests carry. It is a pure
+// function of v's VALUE: stable across processes and runs, unlike the
+// old %+v-based hash, which leaked pointer addresses. It is a
+// convenience, not a cryptographic commitment; durable cache keys use
+// StrongFingerprint instead.
+func Fingerprint(v any) string {
+	h := fnv.New64a()
+	h.Write(CanonicalBytes(v))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// StrongFingerprint returns the sha256 hex digest of v's canonical
+// encoding — the content-address durable artifacts are keyed by. Same
+// determinism contract as Fingerprint with collision resistance worth
+// trusting a cache with.
+func StrongFingerprint(v any) string {
+	sum := sha256.Sum256(CanonicalBytes(v))
+	return hex.EncodeToString(sum[:])
+}
+
+// CanonicalBytes returns v's canonical deterministic encoding. It
+// never fails: values without a meaningful canonical form (functions,
+// channels, unsafe pointers) are excluded explicitly by encoding as
+// bare kind tokens.
+func CanonicalBytes(v any) []byte {
+	e := &canonEncoder{}
+	if v == nil {
+		return []byte("nil")
+	}
+	e.encode(reflect.ValueOf(v))
+	return e.buf
+}
+
+type canonEncoder struct {
+	buf []byte
+	// seen guards against pointer cycles; keyed by (address, type) so
+	// a struct sharing a pointer twice non-cyclically still encodes
+	// both occurrences.
+	seen map[visit]bool
+}
+
+type visit struct {
+	ptr uintptr
+	typ reflect.Type
+}
+
+func (e *canonEncoder) str(s string) { e.buf = append(e.buf, s...) }
+
+func (e *canonEncoder) encode(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		e.buf = strconv.AppendBool(e.buf, v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.buf = strconv.AppendInt(e.buf, v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		e.buf = strconv.AppendUint(e.buf, v.Uint(), 10)
+	case reflect.Float32:
+		e.buf = strconv.AppendFloat(e.buf, v.Float(), 'g', -1, 32)
+	case reflect.Float64:
+		e.buf = strconv.AppendFloat(e.buf, v.Float(), 'g', -1, 64)
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		e.str("(")
+		e.buf = strconv.AppendFloat(e.buf, real(c), 'g', -1, 64)
+		e.str("+")
+		e.buf = strconv.AppendFloat(e.buf, imag(c), 'g', -1, 64)
+		e.str("i)")
+	case reflect.String:
+		e.buf = strconv.AppendQuote(e.buf, v.String())
+	case reflect.Pointer:
+		if v.IsNil() {
+			e.str("nil")
+			return
+		}
+		key := visit{ptr: v.Pointer(), typ: v.Type()}
+		if e.seen[key] {
+			e.str("cycle")
+			return
+		}
+		if e.seen == nil {
+			e.seen = make(map[visit]bool)
+		}
+		e.seen[key] = true
+		e.str("&")
+		e.encode(v.Elem())
+		delete(e.seen, key)
+	case reflect.Interface:
+		if v.IsNil() {
+			e.str("nil")
+			return
+		}
+		// The dynamic type is part of the identity: two interface
+		// fields holding differently-typed but identically-shaped
+		// values must not collide.
+		e.str("(")
+		e.str(v.Elem().Type().String())
+		e.str(")")
+		e.encode(v.Elem())
+	case reflect.Slice:
+		if v.IsNil() {
+			e.str("nil")
+			return
+		}
+		fallthrough
+	case reflect.Array:
+		e.str("[")
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				e.str(",")
+			}
+			e.encode(v.Index(i))
+		}
+		e.str("]")
+	case reflect.Map:
+		if v.IsNil() {
+			e.str("nil")
+			return
+		}
+		// Entries sorted by the canonical encoding of their keys, so
+		// iteration order cannot leak into the fingerprint.
+		type kv struct{ k, val []byte }
+		entries := make([]kv, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			ke := &canonEncoder{seen: e.seen}
+			ke.encode(iter.Key())
+			ve := &canonEncoder{seen: e.seen}
+			ve.encode(iter.Value())
+			entries = append(entries, kv{k: ke.buf, val: ve.buf})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			return string(entries[i].k) < string(entries[j].k)
+		})
+		e.str("map{")
+		for i, kv := range entries {
+			if i > 0 {
+				e.str(",")
+			}
+			e.buf = append(e.buf, kv.k...)
+			e.str(":")
+			e.buf = append(e.buf, kv.val...)
+		}
+		e.str("}")
+	case reflect.Struct:
+		t := v.Type()
+		// The full type path disambiguates identically-shaped configs.
+		e.str(t.String())
+		e.str("{")
+		first := true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				// Unexported fields are excluded explicitly: not part
+				// of the public configuration identity.
+				continue
+			}
+			if !first {
+				e.str(",")
+			}
+			first = false
+			e.str(f.Name)
+			e.str(":")
+			e.encode(v.Field(i))
+		}
+		e.str("}")
+	case reflect.Func:
+		// Function identity is excluded explicitly — an address would
+		// destroy cross-process stability. Callers needing to
+		// distinguish behaviors must fingerprint a name.
+		e.str("func")
+	case reflect.Chan:
+		e.str("chan")
+	case reflect.UnsafePointer:
+		e.str("unsafeptr")
+	default:
+		e.str("invalid")
+	}
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenConfig is the fixed pointer-and-map-bearing configuration the
+// cross-process stability golden pins. Every construction allocates
+// fresh pointers and repopulates the map in a scrambled order, so any
+// address or iteration-order leak in the encoder changes the
+// fingerprint between constructions — and the committed golden catches
+// a leak between processes, compilers and releases.
+func goldenConfig() any {
+	type monitor struct {
+		SamplePeriod uint64
+		MinAllocSize int64
+	}
+	type tier struct {
+		Name     string
+		Capacity int64
+		Latency  float64
+	}
+	type config struct {
+		Machine  string
+		Tiers    []tier
+		Budgets  map[string]int64
+		Monitor  *monitor
+		Strategy any
+		RefScale float64
+		Distance [][]float64
+
+		hidden int // unexported: excluded from the identity
+	}
+	budgets := map[string]int64{}
+	for _, k := range []string{"NVM", "DDR", "MCDRAM", "CXL", "HBM"} {
+		budgets[k] = int64(len(k)) * 1 << 30
+	}
+	return config{
+		Machine: "knl-7250",
+		Tiers: []tier{
+			{Name: "MCDRAM", Capacity: 16 << 30, Latency: 156.25},
+			{Name: "DDR", Capacity: 96 << 30, Latency: 127.5},
+		},
+		Budgets:  budgets,
+		Monitor:  &monitor{SamplePeriod: 37589, MinAllocSize: 4096},
+		Strategy: "density",
+		RefScale: 0.015625,
+		Distance: [][]float64{{1, 2.1}, {2.1, 1}},
+		hidden:   42,
+	}
+}
+
+// TestFingerprintGolden pins the canonical fingerprint of the fixed
+// config against the committed golden. A mismatch means the canonical
+// encoding changed — which invalidates every durable artifact keyed by
+// it, so it must be a deliberate, documented break (regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/obs -run TestFingerprintGolden).
+func TestFingerprintGolden(t *testing.T) {
+	got := Fingerprint(goldenConfig()) + "\n" + StrongFingerprint(goldenConfig()) + "\n"
+	path := filepath.Join("testdata", "fingerprint_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("fingerprint drifted from committed golden:\n got %q\nwant %q", got, string(want))
+	}
+}
+
+// TestFingerprintCrossProcess recomputes the golden fingerprint in a
+// SEPARATE process (the re-exec'd test binary) and compares: this is
+// the cross-process stability proof — pointer addresses, map seed and
+// ASLR all differ between the two processes, so any leak of process
+// state into the hash fails here.
+func TestFingerprintCrossProcess(t *testing.T) {
+	if os.Getenv("OBS_FP_HELPER") == "1" {
+		fmt.Println(Fingerprint(goldenConfig()), StrongFingerprint(goldenConfig()))
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot find test binary: %v", err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestFingerprintCrossProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "OBS_FP_HELPER=1")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("subprocess failed: %v\n%s", err, out)
+	}
+	want := Fingerprint(goldenConfig()) + " " + StrongFingerprint(goldenConfig())
+	if !strings.Contains(string(out), want) {
+		t.Fatalf("subprocess fingerprint differs:\nwant line %q\ngot output:\n%s", want, out)
+	}
+}
+
+// oldFingerprint is the pre-canonicalization implementation — FNV-1a
+// over the %+v rendering — kept here verbatim as the regression
+// reference.
+func oldFingerprint(v any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", v)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestOldSchemeLeakedPointerAddresses is the regression test for the
+// bug this package fixed: under the old %+v hash, two semantically
+// identical pointer-bearing configs (fresh allocations of equal
+// values) fingerprint DIFFERENTLY, because the rendering contains the
+// pointer address. The canonical fingerprint must see through the
+// pointer and agree.
+func TestOldSchemeLeakedPointerAddresses(t *testing.T) {
+	type monitor struct{ Period uint64 }
+	type config struct{ Monitor *monitor }
+	mk := func() config { return config{Monitor: &monitor{Period: 37589}} }
+
+	a, b := mk(), mk()
+	if oldFingerprint(a) == oldFingerprint(b) {
+		// Equal addresses would mean the allocator reused the slot —
+		// keep b's monitor alive and retry with distinct liveness.
+		c := mk()
+		if oldFingerprint(a) == oldFingerprint(c) && fmt.Sprintf("%p", a.Monitor) != fmt.Sprintf("%p", c.Monitor) {
+			t.Fatalf("old scheme unexpectedly stable for pointer-bearing config")
+		}
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("canonical fingerprint differs for equal pointer-bearing configs: %s vs %s",
+			Fingerprint(a), Fingerprint(b))
+	}
+}
+
+// TestFingerprintCanonicalization covers the encoding rules one by
+// one.
+func TestFingerprintCanonicalization(t *testing.T) {
+	// Map iteration order must not matter.
+	m1 := map[string]int{}
+	m2 := map[string]int{}
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	for i, k := range keys {
+		m1[k] = i
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		m2[keys[i]] = i
+	}
+	if Fingerprint(m1) != Fingerprint(m2) {
+		t.Fatal("map insertion order leaked into fingerprint")
+	}
+
+	// Pointers dereference; nil pointers are distinct from zero
+	// values.
+	x := 7
+	type p struct{ V *int }
+	y := 7
+	if Fingerprint(p{&x}) != Fingerprint(p{&y}) {
+		t.Fatal("pointer address leaked into fingerprint")
+	}
+	z := 8
+	if Fingerprint(p{&x}) == Fingerprint(p{&z}) {
+		t.Fatal("pointed-to value ignored")
+	}
+	if Fingerprint(p{nil}) == Fingerprint(p{&x}) {
+		t.Fatal("nil pointer collides with non-nil")
+	}
+
+	// Function fields are excluded explicitly: configs differing only
+	// in a func field fingerprint equal (identity would be an
+	// address).
+	type f struct {
+		Name string
+		Fn   func()
+	}
+	if Fingerprint(f{Name: "a", Fn: func() {}}) != Fingerprint(f{Name: "a", Fn: nil}) {
+		t.Fatal("function identity leaked into fingerprint")
+	}
+
+	// Unexported fields are excluded.
+	type u struct {
+		A int
+		b int
+	}
+	if Fingerprint(u{A: 1, b: 2}) != Fingerprint(u{A: 1, b: 3}) {
+		t.Fatal("unexported field leaked into fingerprint")
+	}
+
+	// Distinct named types with identical shape must not collide.
+	type t1 struct{ A int }
+	type t2 struct{ A int }
+	if Fingerprint(t1{1}) == Fingerprint(t2{1}) {
+		t.Fatal("identically-shaped types collide")
+	}
+
+	// Cycles terminate deterministically.
+	type node struct {
+		V    int
+		Next *node
+	}
+	n1 := &node{V: 1}
+	n1.Next = n1
+	n2 := &node{V: 1}
+	n2.Next = n2
+	if Fingerprint(n1) != Fingerprint(n2) {
+		t.Fatal("cyclic structures fingerprint unstably")
+	}
+
+	// Interface fields carry the dynamic type.
+	type iface struct{ V any }
+	if Fingerprint(iface{V: int64(1)}) == Fingerprint(iface{V: uint64(1)}) {
+		t.Fatal("dynamic type ignored in interface encoding")
+	}
+}

@@ -29,8 +29,6 @@ package obs
 
 import (
 	"encoding/json"
-	"fmt"
-	"hash/fnv"
 	"io"
 	"sync"
 )
@@ -409,13 +407,7 @@ func (r *Recorder) cellFailed(e CellFailedEvent) {
 	r.record(&e.Header, &e)
 }
 
-// Fingerprint returns a short stable hex fingerprint of v's %+v
-// rendering — the config-identity hash manifests carry. It is a
-// convenience, not a cryptographic commitment: two configs with equal
-// fingerprints are equal for every practical purpose of "is this trace
-// from the run I think it is".
-func Fingerprint(v any) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v", v)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// Fingerprint lives in fingerprint.go: the canonical deterministic
+// config-identity hash (the old %+v-based hash leaked pointer
+// addresses and map iteration order, so it was only stable within one
+// process — fatal once fingerprints key durable artifacts).

@@ -100,6 +100,13 @@ const (
 	// FaultSolverStarve clamps the exact solver's node budget so it
 	// exercises the degradation ladder.
 	FaultSolverStarve = faultinject.SolverStarve
+	// FaultCacheCorrupt garbles every Nth artifact-cache write, modeling
+	// torn writes and bit rot the cache's checksums must catch.
+	FaultCacheCorrupt = faultinject.CacheCorrupt
+	// FaultClientDisconnect severs victim advisory clients' connections
+	// mid-conversation; the daemon must shrug and other clients must be
+	// unaffected.
+	FaultClientDisconnect = faultinject.ClientDisconnect
 )
 
 // NewFaultInjector builds the deterministic chaos plan for a seed:

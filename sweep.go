@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/advisord"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
@@ -117,6 +118,15 @@ type SweepOptions struct {
 	// slots, and untouched cells stay bit-identical to a fault-free
 	// sweep. Production sweeps leave it nil at zero cost.
 	Fault *FaultInjector
+	// Cache, when non-nil, adds a persistent tier under the in-process
+	// profile memo: Profile+Analyze artifacts are looked up in (and
+	// committed to) the content-addressed artifact cache, so repeated
+	// sweeps — across processes, across days — skip the profiling runs
+	// entirely. Because the cache key is the canonical content
+	// fingerprint of the workload and profiling configuration, and the
+	// stored trace/profile/result round-trip exactly, cached sweeps are
+	// bit-identical to cold ones.
+	Cache *ArtifactCache
 }
 
 // profiled is the memoized Stage 1+2 artifact of a pipeline cell.
@@ -135,15 +145,26 @@ type profiled struct {
 }
 
 // profileKey derives the memoization key of a pipeline cell: the
-// workload's identity plus every field the profiling stage reads. Two
-// cells with equal keys would run byte-identical profiling runs, so
-// they share one. The machine is fingerprinted by value — tier list,
-// topology matrix, mode, everything — because any of it changes the
-// trace.
+// canonical content fingerprint of the workload plus every field the
+// profiling stage reads, with defaults normalized so "0 = default" and
+// the spelled-out default share one artifact. Two cells with equal
+// keys would run byte-identical profiling runs, so they share one. The
+// machine is fingerprinted by value — tier list, topology matrix,
+// mode, everything — because any of it changes the trace.
+//
+// The key is durable: it contains no pointers, no map iteration order
+// and no process state (the old scheme keyed on the workload POINTER
+// and a %+v rendering, so it could not outlive the process), which is
+// what lets SweepOptions.Cache share profiling artifacts across
+// processes and daemon restarts.
 func profileKey(w *Workload, cfg *PipelineConfig) sweep.Key {
 	pc := cfg.profileConfig()
-	return sweep.Key(fmt.Sprintf("%p|%s|machine=%+v|cores=%d|seed=%d|period=%d|minalloc=%d|refscale=%g",
-		w, w.Name, pc.Machine, pc.Cores, pc.Seed, pc.SamplePeriod, pc.MinAllocSize, pc.RefScale))
+	params := advisord.ProfileParams{
+		Machine: pc.Machine, Cores: pc.Cores, Seed: pc.Seed,
+		SamplePeriod: pc.SamplePeriod, MinAllocSize: pc.MinAllocSize,
+		RefScale: pc.RefScale,
+	}.Normalized()
+	return sweep.Key(advisord.ProfileKey(w, params))
 }
 
 // RunSweep executes every point of a sweep grid and returns the
@@ -291,6 +312,19 @@ func RunSweepCtx(ctx context.Context, points []SweepPoint, opts SweepOptions) ([
 		pc := p.Pipeline.profileConfig()
 		pc.Obs = nil
 		pc.ctx = ctx
+		key := string(keyOf(i))
+		if opts.Cache != nil {
+			if files, ok := opts.Cache.Get(key); ok {
+				if art, derr := advisord.DecodeProfileArtifact(files); derr == nil {
+					return &profiled{trace: art.Trace, run: art.Run, prof: art.Profile,
+						warm: advisor.NewWarmState(), wall: time.Since(start)}, nil
+				}
+				// Checksums passed but the payload does not decode (e.g.
+				// an entry from an incompatible codec): drop it and
+				// recompute — a cache can slow a sweep down, never sink it.
+				opts.Cache.Drop(key)
+			}
+		}
 		tr, profRun, err := Profile(p.Workload, pc)
 		if err != nil {
 			return nil, fmt.Errorf("hybridmem: sweep %s (seed %d): profile stage: %w", p.Workload.Name, p.Pipeline.Seed, err)
@@ -298,6 +332,13 @@ func RunSweepCtx(ctx context.Context, points []SweepPoint, opts SweepOptions) ([
 		prof, err := Analyze(tr)
 		if err != nil {
 			return nil, fmt.Errorf("hybridmem: sweep %s (seed %d): analyze stage: %w", p.Workload.Name, p.Pipeline.Seed, err)
+		}
+		if opts.Cache != nil {
+			if files, eerr := advisord.EncodeProfileArtifact(&advisord.ProfileArtifact{
+				Trace: tr, Run: profRun, Profile: prof,
+			}); eerr == nil {
+				_ = opts.Cache.Put(key, "profile", files)
+			}
 		}
 		return &profiled{trace: tr, run: profRun, prof: prof, warm: advisor.NewWarmState(), wall: time.Since(start)}, nil
 	}
